@@ -1,0 +1,228 @@
+// Command ebsim runs one multi-application workload under one TLP
+// management scheme and reports the Table III metrics.
+//
+// Usage:
+//
+//	ebsim -workload BLK_TRD -scheme pbs-ws
+//	ebsim -workload BFS_FFT -scheme static -tlp 2,6
+//	ebsim -workload JPEG_CFD_TRD -scheme dyncta -cycles 500000
+//	ebsim -alone BFS            # single-application TLP sweep (Fig. 2 style)
+//
+// Schemes: besttlp, maxtlp, dyncta, modbypass, pbs-ws, pbs-fi, pbs-hs,
+// static (with -tlp).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ebm/internal/config"
+	pbscore "ebm/internal/core"
+	"ebm/internal/kernel"
+	"ebm/internal/metrics"
+	"ebm/internal/profile"
+	"ebm/internal/sim"
+	"ebm/internal/tlp"
+	"ebm/internal/trace"
+	"ebm/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "", "workload name, e.g. BLK_TRD (suite apps joined by _)")
+		alone   = flag.String("alone", "", "profile a single application across all TLP levels")
+		scheme  = flag.String("scheme", "pbs-ws", "besttlp|maxtlp|dyncta|modbypass|ccws|pbs-ws|pbs-fi|pbs-hs|static")
+		tlps    = flag.String("tlp", "", "comma-separated TLP combination for -scheme static")
+		cycles  = flag.Uint64("cycles", 300_000, "total simulated core cycles")
+		warmup  = flag.Uint64("warmup", 10_000, "warmup cycles excluded from metrics")
+		window  = flag.Uint64("window", 2_500, "sampling window in cycles")
+		cache   = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
+		verbose = flag.Bool("v", false, "print per-application details")
+		traceF  = flag.String("trace", "", "write per-window TLP/EB/BW time series to a CSV file")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+
+	if *alone != "" {
+		runAlone(cfg, *alone)
+		return
+	}
+	if *wlName == "" {
+		fmt.Fprintln(os.Stderr, "ebsim: pass -workload NAME or -alone APP")
+		os.Exit(2)
+	}
+	wl, ok := workload.ByName(*wlName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ebsim: unknown workload %q; apps: %v\n", *wlName, kernel.Names())
+		os.Exit(2)
+	}
+
+	// Equal core partitioning requires divisibility: shrink the machine
+	// to the largest multiple (e.g. 15 cores for three applications) as
+	// the paper's equal-share methodology implies.
+	if rem := cfg.NumCores % len(wl.Apps); rem != 0 {
+		cfg.NumCores -= rem
+		fmt.Fprintf(os.Stderr, "ebsim: using %d cores for an equal %d-way split\n",
+			cfg.NumCores, len(wl.Apps))
+	}
+	profOpts := profile.Options{Config: cfg, CoresAlone: cfg.NumCores / len(wl.Apps)}
+	cachePath := *cache
+	if len(wl.Apps) != 2 && cachePath != "" {
+		// The default cache holds half-machine profiles; keep other
+		// shares in their own file.
+		cachePath = fmt.Sprintf("profiles_%dapp.json", len(wl.Apps))
+	}
+	suite, err := profile.LoadOrProfile(cachePath, kernel.All(), profOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ebsim: profiling: %v\n", err)
+		os.Exit(1)
+	}
+	names := wl.Names()
+	aloneIPC, err := suite.AloneIPC(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+	bestTLPs, err := suite.BestTLPs(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+
+	mgr, err := makeManager(*scheme, *tlps, bestTLPs, len(wl.Apps))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(2)
+	}
+
+	victimTags := 0
+	if *scheme == "ccws" {
+		victimTags = 1024
+	}
+	var rec *trace.Recorder
+	var hook func(tlp.Sample)
+	if *traceF != "" {
+		rec = trace.NewRecorder(len(wl.Apps))
+		if pbs, ok := mgr.(*pbscore.PBS); ok {
+			rec.SearchingFn = pbs.Searching
+		}
+		hook = rec.Hook
+	}
+	s, err := sim.New(sim.Options{
+		Config:             cfg,
+		Apps:               wl.Apps,
+		Manager:            mgr,
+		TotalCycles:        *cycles,
+		WarmupCycles:       *warmup,
+		WindowCycles:       *window,
+		DesignatedSampling: true,
+		VictimTags:         victimTags,
+		OnWindow:           hook,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+	res := s.Run()
+
+	if rec != nil {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ebsim: wrote %s\n", *traceF)
+	}
+
+	sd, err := metrics.Slowdowns(res.IPCs(), aloneIPC)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload %s under %s (%d cycles, %d windows)\n",
+		wl.Name, mgr.Name(), res.Cycles, res.Windows)
+	fmt.Printf("WS=%.3f FI=%.3f HS=%.3f IT=%.3f total BW=%.3f\n",
+		metrics.WS(sd), metrics.FI(sd), metrics.HS(sd), metrics.IT(res.IPCs()), res.TotalBW)
+	for i, a := range res.Apps {
+		fmt.Printf("  %-5s SD=%.3f IPC=%6.2f (alone %6.2f @ TLP %2d)  EB=%6.3f  final TLP=%d\n",
+			a.Name, sd[i], a.IPC, aloneIPC[i], bestTLPs[i], a.EB, a.FinalTLP)
+		if *verbose {
+			fmt.Printf("        L1MR=%.3f L2MR=%.3f CMR=%.3f BW=%.3f rowhit=%.2f "+
+				"lat=%.0f memstall=%.2f util=%.2f avgTLP=%.1f kernels=%d\n",
+				a.L1MR, a.L2MR, a.CMR, a.BW, a.RowHitRate, a.AvgLatency,
+				a.MemStallFrac, a.IssueUtil, a.AvgTLP, a.Kernels)
+		}
+	}
+}
+
+func makeManager(scheme, tlpsFlag string, bestTLPs []int, numApps int) (tlp.Manager, error) {
+	switch scheme {
+	case "besttlp":
+		return tlp.NewStatic("++bestTLP", bestTLPs, nil), nil
+	case "maxtlp":
+		return tlp.NewMaxTLP(numApps), nil
+	case "dyncta":
+		return tlp.NewDynCTA(), nil
+	case "modbypass":
+		return tlp.NewModBypass(), nil
+	case "ccws":
+		return tlp.NewCCWS(), nil
+	case "pbs-ws":
+		return pbscore.NewPBS(metrics.ObjWS), nil
+	case "pbs-fi":
+		return pbscore.NewPBS(metrics.ObjFI), nil
+	case "pbs-hs":
+		return pbscore.NewPBS(metrics.ObjHS), nil
+	case "static":
+		if tlpsFlag == "" {
+			return nil, fmt.Errorf("scheme static needs -tlp, e.g. -tlp 2,8")
+		}
+		parts := strings.Split(tlpsFlag, ",")
+		if len(parts) != numApps {
+			return nil, fmt.Errorf("-tlp has %d values for %d applications", len(parts), numApps)
+		}
+		tl := make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad -tlp value %q: %v", p, err)
+			}
+			tl[i] = v
+		}
+		return tlp.NewStatic(fmt.Sprintf("static%v", tl), tl, nil), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}
+
+func runAlone(cfg config.GPU, name string) {
+	app, ok := kernel.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ebsim: unknown application %q; apps: %v\n", name, kernel.Names())
+		os.Exit(2)
+	}
+	p, err := profile.ProfileApp(app, profile.Options{Config: cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s alone (bestTLP=%d, IPC=%.2f, EB=%.3f)\n", name, p.BestTLP, p.BestIPC, p.BestEB)
+	fmt.Printf("%4s %8s %7s %7s %7s %8s %7s\n", "TLP", "IPC", "L1MR", "L2MR", "CMR", "BW", "EB")
+	for _, l := range p.Levels {
+		a := l.Result
+		fmt.Printf("%4d %8.3f %7.3f %7.3f %7.3f %8.3f %7.3f\n",
+			l.TLP, a.IPC, a.L1MR, a.L2MR, a.CMR, a.BW, a.EB)
+	}
+}

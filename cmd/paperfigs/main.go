@@ -1,0 +1,106 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	paperfigs -list
+//	paperfigs -id fig9            # one experiment
+//	paperfigs -all                # everything, in paper order
+//	paperfigs -all -quick         # reduced workload set and run lengths
+//	paperfigs -all -out results/  # additionally write one file per panel
+//
+// Alone-run profiles are cached in ./profiles.json by default (-cache "").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ebm/internal/experiments"
+	"ebm/internal/workload"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		id    = flag.String("id", "", "run a single experiment by id (e.g. fig9)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced run lengths and the 10 representative workloads")
+		cache = flag.String("cache", "profiles.json", "alone-profile cache path (empty disables)")
+		out   = flag.String("out", "", "directory to also write one text file per experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, x := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", x.ID, x.Title)
+		}
+		return
+	}
+	if !*all && *id == "" {
+		fmt.Fprintln(os.Stderr, "paperfigs: pass -id <experiment>, -all, or -list")
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{ProfileCache: *cache}
+	if *quick {
+		opt.GridCycles = 60_000
+		opt.GridWarmup = 10_000
+		opt.EvalCycles = 150_000
+		opt.EvalWarmup = 5_000
+		opt.Workloads = workload.Representative()
+	}
+	start := time.Now()
+	env, err := experiments.NewEnv(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: profiling failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "profiles ready in %.1fs\n", time.Since(start).Seconds())
+
+	run := func(x experiments.Experiment) error {
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*out, x.ID+".txt"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		t0 := time.Now()
+		if err := x.Run(env, w); err != nil {
+			return fmt.Errorf("%s: %w", x.ID, err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", x.ID, time.Since(t0).Seconds())
+		return nil
+	}
+
+	if *id != "" {
+		x, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		if err := run(x); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, x := range experiments.Registry() {
+		if err := run(x); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command sweep builds the exhaustive TLP-combination grid for a workload
+// and prints the metric surfaces plus every search's pick — the raw data
+// behind the paper's opt/BF/PBS comparison points.
+//
+// Usage:
+//
+//	sweep -workload BLK_TRD
+//	sweep -workload BFS_FFT -grids ws,ebws,fi
+//	sweep -workload BFS_FFT -cycles 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/metrics"
+	"ebm/internal/profile"
+	"ebm/internal/search"
+	"ebm/internal/sim"
+	"ebm/internal/workload"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "BLK_TRD", "two-application workload, e.g. BLK_TRD")
+		grids  = flag.String("grids", "ws,ebws", "surfaces to print: ws,fi,hs,ebws,ebfi,it,bw")
+		cycles = flag.Uint64("cycles", 120_000, "cycles per combination")
+		warmup = flag.Uint64("warmup", 20_000, "warmup cycles")
+		cache  = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	wl, ok := workload.ByName(*wlName)
+	if !ok || len(wl.Apps) != 2 {
+		fmt.Fprintf(os.Stderr, "sweep: need a two-application workload; apps: %v\n", kernel.Names())
+		os.Exit(2)
+	}
+
+	suite, err := profile.LoadOrProfile(*cache, kernel.All(), profile.Options{Config: cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	names := wl.Names()
+	aloneIPC, _ := suite.AloneIPC(names)
+	aloneEB, _ := suite.AloneEB(names)
+	bestTLPs, _ := suite.BestTLPs(names)
+
+	g, err := search.BuildGrid(wl.Apps, search.GridOptions{
+		Config: cfg, TotalCycles: *cycles, WarmupCycles: *warmup,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	surfaces := map[string]struct {
+		title string
+		eval  search.Eval
+	}{
+		"ws":   {"WS (weighted speedup)", search.SDEval(metrics.ObjWS, aloneIPC)},
+		"fi":   {"FI (fairness index)", search.SDEval(metrics.ObjFI, aloneIPC)},
+		"hs":   {"HS (harmonic speedup)", search.SDEval(metrics.ObjHS, aloneIPC)},
+		"ebws": {"EB-WS", search.EBEval(metrics.ObjWS, nil)},
+		"ebfi": {"EB-FI (scaled)", search.EBEval(metrics.ObjFI, aloneEB)},
+		"it":   {"IT (instruction throughput)", search.ITEval()},
+		"bw":   {"total attained bandwidth", func(r sim.Result) float64 { return r.TotalBW }},
+	}
+	for _, key := range strings.Split(*grids, ",") {
+		key = strings.TrimSpace(key)
+		s, ok := surfaces[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sweep: unknown surface %q\n", key)
+			continue
+		}
+		fmt.Printf("\n%s grid (rows: TLP-%s, cols: TLP-%s)\n       ", s.title, names[0], names[1])
+		for _, t1 := range g.Levels {
+			fmt.Printf("%8d", t1)
+		}
+		fmt.Println()
+		for _, t0 := range g.Levels {
+			fmt.Printf("%6d ", t0)
+			for _, t1 := range g.Levels {
+				r, err := g.At([]int{t0, t1})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "sweep:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("%8.3f", s.eval(r))
+			}
+			fmt.Println()
+		}
+	}
+
+	wsEval := surfaces["ws"].eval
+	fiEval := surfaces["fi"].eval
+	hsEval := surfaces["hs"].eval
+	report := func(label string, combo []int) {
+		r, err := g.At(combo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-16s combo=%-9v WS=%.3f FI=%.3f HS=%.3f\n",
+			label, combo, wsEval(r), fiEval(r), hsEval(r))
+	}
+
+	fmt.Println()
+	report("++bestTLP", bestTLPs)
+	report("++maxTLP", []int{config.MaxTLP, config.MaxTLP})
+	for _, x := range []struct {
+		label string
+		eval  search.Eval
+	}{
+		{"optWS", wsEval}, {"optFI", fiEval}, {"optHS", hsEval},
+		{"BF-WS", surfaces["ebws"].eval}, {"BF-FI", surfaces["ebfi"].eval},
+		{"BF-HS", search.EBEval(metrics.ObjHS, aloneEB)},
+		{"maxIT", surfaces["it"].eval},
+	} {
+		c, _ := g.Best(x.eval)
+		report(x.label, c)
+	}
+	cw, _ := g.PBSOffline(surfaces["ebws"].eval, nil)
+	report("PBS-WS(Offline)", cw)
+	cf, _ := g.PBSOfflineFI(aloneEB, nil)
+	report("PBS-FI(Offline)", cf)
+	ch, _ := g.PBSOffline(search.EBEval(metrics.ObjHS, aloneEB), nil)
+	report("PBS-HS(Offline)", ch)
+}

@@ -1,0 +1,38 @@
+// Package ebm is a cycle-level GPU multiprogramming simulator and a
+// reference implementation of effective-bandwidth-managed thread-level
+// parallelism (TLP) control, reproducing "Efficient and Fair
+// Multi-programming in GPUs via Effective Bandwidth Management"
+// (Wang, Luo, Ibrahim, Kayiran, Jog — HPCA 2018).
+//
+// The library contains everything the paper's evaluation needs, built from
+// scratch in pure Go with only the standard library:
+//
+//   - a GPU model (SIMT cores with GTO warp schedulers and a warp-limiting
+//     TLP knob, private L1 caches with MSHRs, a crossbar interconnect,
+//     shared L2 slices, and GDDR5 memory controllers with FR-FCFS
+//     scheduling and full bank timing);
+//   - a suite of 26 synthetic GPGPU applications whose cache and bandwidth
+//     behaviour spans the paper's Table IV groups;
+//   - the effective bandwidth (EB) telemetry and metrics of Table III;
+//   - TLP management policies: static combinations (maxTLP, bestTLP),
+//     DynCTA, Mod+Bypass, and the paper's contribution — the online
+//     Pattern-Based Searching managers PBS-WS, PBS-FI, and PBS-HS;
+//   - exhaustive searchers (optWS/FI/HS, BF-WS/FI/HS) and offline PBS for
+//     the comparison points of the evaluation.
+//
+// # Quick start
+//
+//	cfg := ebm.DefaultConfig()
+//	w, _ := ebm.WorkloadByName("BFS_FFT")
+//	res, err := ebm.Run(ebm.RunOptions{
+//		Config:  cfg,
+//		Apps:    w.Apps,
+//		Manager: ebm.NewPBSWS(),
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.Apps[0].IPC, res.Apps[1].IPC)
+//
+// See the examples directory for complete programs, cmd/ebsim for a CLI,
+// and cmd/paperfigs for the harness that regenerates every table and
+// figure in the paper's evaluation.
+package ebm

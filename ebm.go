@@ -1,0 +1,211 @@
+package ebm
+
+import (
+	"ebm/internal/config"
+	pbscore "ebm/internal/core"
+	"ebm/internal/kernel"
+	"ebm/internal/metrics"
+	"ebm/internal/profile"
+	"ebm/internal/search"
+	"ebm/internal/sim"
+	"ebm/internal/tlp"
+	"ebm/internal/trace"
+	"ebm/internal/workload"
+)
+
+// Config describes the simulated GPU (the paper's Table I).
+type Config = config.GPU
+
+// DefaultConfig returns the baseline Table I machine.
+func DefaultConfig() Config { return config.Default() }
+
+// TLPLevels returns the selectable per-application TLP levels (Table II's
+// knob positions; 8 levels yield the paper's 64 two-app combinations).
+func TLPLevels() []int { return append([]int(nil), config.TLPLevels...) }
+
+// MaxTLP is the largest TLP level (48 warps over two schedulers).
+const MaxTLP = config.MaxTLP
+
+// App is a synthetic GPGPU application model (Table IV's suite).
+type App = kernel.Params
+
+// Applications returns the 26-application suite.
+func Applications() []App { return kernel.All() }
+
+// AppByName looks up a suite application by its Table IV abbreviation.
+func AppByName(name string) (App, bool) { return kernel.ByName(name) }
+
+// Workload is a named set of co-scheduled applications.
+type Workload = workload.Workload
+
+// RepresentativeWorkloads returns the ten two-application workloads whose
+// per-workload panels appear in the paper's Figs. 4, 9, and 10.
+func RepresentativeWorkloads() []Workload { return workload.Representative() }
+
+// EvaluatedWorkloads returns the full 25-workload evaluation set.
+func EvaluatedWorkloads() []Workload { return workload.Evaluated() }
+
+// ThreeAppWorkloads returns the three-application scalability workloads.
+func ThreeAppWorkloads() []Workload { return workload.ThreeApp() }
+
+// WorkloadByName resolves names like "BLK_TRD" (any underscore-joined
+// suite applications are accepted).
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// RunOptions configures one simulation; see the fields of sim.Options.
+type RunOptions = sim.Options
+
+// Result is the measured outcome of a run.
+type Result = sim.Result
+
+// AppResult is one application's measured behaviour.
+type AppResult = sim.AppResult
+
+// Run executes one simulation to completion.
+func Run(opts RunOptions) (Result, error) {
+	s, err := sim.New(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// Manager is a TLP management policy.
+type Manager = tlp.Manager
+
+// Sample is the per-window telemetry a Manager observes.
+type Sample = tlp.Sample
+
+// Decision is a Manager's requested TLP/bypass configuration.
+type Decision = tlp.Decision
+
+// NewStaticManager runs a fixed TLP combination (e.g. ++bestTLP).
+func NewStaticManager(name string, tlps []int) Manager {
+	return tlp.NewStatic(name, tlps, nil)
+}
+
+// NewMaxTLPManager runs every application at maxTLP.
+func NewMaxTLPManager(numApps int) Manager { return tlp.NewMaxTLP(numApps) }
+
+// NewDynCTA returns the DynCTA-style per-application modulation baseline.
+func NewDynCTA() Manager { return tlp.NewDynCTA() }
+
+// NewModBypass returns the Mod+Bypass baseline (TLP modulation plus L1
+// bypassing for cache-insensitive applications).
+func NewModBypass() Manager { return tlp.NewModBypass() }
+
+// NewCCWS returns the cache-conscious wavefront-scheduling-inspired
+// baseline; enable the detector with RunOptions.VictimTags (e.g. 32).
+func NewCCWS() Manager { return tlp.NewCCWS() }
+
+// PBS is the paper's online pattern-based searching manager.
+type PBS = pbscore.PBS
+
+// NewPBSWS returns PBS-WS: pattern-based search maximizing EB-WS.
+func NewPBSWS() *PBS { return pbscore.NewPBS(metrics.ObjWS) }
+
+// NewPBSFI returns PBS-FI with online-sampled alone-EB scaling.
+func NewPBSFI() *PBS { return pbscore.NewPBS(metrics.ObjFI) }
+
+// NewPBSFIGroup returns PBS-FI with user-supplied (group) scaling factors.
+func NewPBSFIGroup(groupEB []float64) *PBS {
+	p := pbscore.NewPBS(metrics.ObjFI)
+	p.Scaling = pbscore.GroupScale
+	p.GroupValues = append([]float64(nil), groupEB...)
+	return p
+}
+
+// NewPBSHS returns PBS-HS (harmonic weighted speedup objective).
+func NewPBSHS() *PBS { return pbscore.NewPBS(metrics.ObjHS) }
+
+// Objective selects WS, FI, or HS for searches and metrics.
+type Objective = metrics.Objective
+
+// Objectives.
+const (
+	ObjWS = metrics.ObjWS
+	ObjFI = metrics.ObjFI
+	ObjHS = metrics.ObjHS
+)
+
+// Metric helpers (Table III).
+var (
+	// Slowdowns computes SD = IPC-Shared / IPC-Alone per application.
+	Slowdowns = metrics.Slowdowns
+	// WS is the weighted speedup of a slowdown vector.
+	WS = metrics.WS
+	// FI is the fairness index of a slowdown vector.
+	FI = metrics.FI
+	// HS is the harmonic weighted speedup of a slowdown vector.
+	HS = metrics.HS
+	// EB computes effective bandwidth from attained BW and combined miss
+	// rate.
+	EB = metrics.EB
+	// EBWS, EBFI, EBHS are the EB-based proxies.
+	EBWS = metrics.EBWS
+	EBFI = metrics.EBFI
+	EBHS = metrics.EBHS
+	// AloneRatio is the Fig. 5 bias measure max(m1/m2, m2/m1).
+	AloneRatio = metrics.AloneRatio
+)
+
+// ProfileOptions configures alone-run profiling.
+type ProfileOptions = profile.Options
+
+// AppProfile is one application's alone profile (a Table IV row).
+type AppProfile = profile.AppProfile
+
+// ProfileSuite holds alone profiles for a set of applications.
+type ProfileSuite = profile.Suite
+
+// Profile profiles every application alone across all TLP levels,
+// producing bestTLP, IPC@bestTLP, EB@bestTLP, and the G1..G4 groups.
+func Profile(apps []App, opts ProfileOptions) (*ProfileSuite, error) {
+	return profile.ProfileSuite(apps, opts)
+}
+
+// ProfileCached is Profile with a JSON cache at path ("" disables).
+func ProfileCached(path string, apps []App, opts ProfileOptions) (*ProfileSuite, error) {
+	return profile.LoadOrProfile(path, apps, opts)
+}
+
+// Grid holds one Result per TLP combination of a workload, powering the
+// exhaustive comparison points (optWS/FI/HS and BF-WS/FI/HS) and offline
+// PBS.
+type Grid = search.Grid
+
+// GridOptions configures BuildGrid.
+type GridOptions = search.GridOptions
+
+// BuildGrid simulates a workload under every TLP combination.
+func BuildGrid(apps []App, opts GridOptions) (*Grid, error) {
+	return search.BuildGrid(apps, opts)
+}
+
+// Eval scores one grid cell; see SDEval, EBEval, ITEval.
+type Eval = search.Eval
+
+// Grid evaluators.
+var (
+	// SDEval scores by a slowdown-based objective (needs alone IPCs).
+	SDEval = search.SDEval
+	// EBEval scores by an EB-based objective (optional scaling).
+	EBEval = search.EBEval
+	// ITEval scores by raw instruction throughput.
+	ITEval = search.ITEval
+)
+
+// Recorder captures per-window time series (Fig. 11).
+type Recorder = trace.Recorder
+
+// NewRecorder builds a Recorder for numApps applications; install its Hook
+// as RunOptions.OnWindow.
+func NewRecorder(numApps int) *Recorder { return trace.NewRecorder(numApps) }
+
+// HardwareCost itemizes the mechanism's hardware overheads (Fig. 8).
+type HardwareCost = pbscore.HardwareCost
+
+// CostModel returns the overhead accounting for a machine shape.
+func CostModel(numApps, numCores, numMemPartitions int) HardwareCost {
+	return pbscore.CostModel(numApps, numCores, numMemPartitions)
+}

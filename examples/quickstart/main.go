@@ -1,0 +1,74 @@
+// Quickstart: profile one application alone, then co-schedule two
+// applications under the paper's PBS-WS manager and compare against the
+// ++bestTLP baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ebm"
+)
+
+func main() {
+	cfg := ebm.DefaultConfig()
+
+	// 1. Look at one application alone: how does TLP shape its IPC and
+	//    effective bandwidth?
+	bfs, ok := ebm.AppByName("BFS")
+	if !ok {
+		log.Fatal("BFS not in the suite")
+	}
+	prof, err := ebm.Profile([]ebm.App{bfs}, ebm.ProfileOptions{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := prof.Profiles["BFS"]
+	fmt.Printf("BFS alone: bestTLP=%d IPC=%.2f EB=%.3f\n", p.BestTLP, p.BestIPC, p.BestEB)
+	fmt.Println("TLP sweep (IPC / EB):")
+	for _, l := range p.Levels {
+		fmt.Printf("  TLP %2d: IPC %.3f  EB %.3f\n", l.TLP, l.Result.IPC, l.Result.EB)
+	}
+
+	// 2. Co-schedule BFS with FFT. First the naive baseline: each app at
+	//    the TLP that was best when it ran alone.
+	wl, _ := ebm.WorkloadByName("BFS_FFT")
+	suite, err := ebm.Profile(wl.Apps, ebm.ProfileOptions{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := suite.BestTLPs(wl.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	aloneIPC, err := suite.AloneIPC(wl.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(label string, mgr ebm.Manager) {
+		res, err := ebm.Run(ebm.RunOptions{
+			Config:             cfg,
+			Apps:               wl.Apps,
+			Manager:            mgr,
+			TotalCycles:        800_000,
+			WarmupCycles:       10_000,
+			DesignatedSampling: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sd, err := ebm.Slowdowns(res.IPCs(), aloneIPC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s WS=%.3f FI=%.3f  (final TLPs: %d, %d)\n",
+			label, ebm.WS(sd), ebm.FI(sd), res.Apps[0].FinalTLP, res.Apps[1].FinalTLP)
+	}
+
+	fmt.Printf("\nco-scheduling BFS+FFT (bestTLPs alone: %v):\n", best)
+	report("++bestTLP", ebm.NewStaticManager("++bestTLP", best))
+	// 3. The paper's mechanism: online pattern-based search over
+	//    effective bandwidth.
+	report("PBS-WS", ebm.NewPBSWS())
+}

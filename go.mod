@@ -1,0 +1,3 @@
+module ebm
+
+go 1.22

@@ -1,0 +1,159 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestTLPLevelsSortedAndBounded(t *testing.T) {
+	for i := 1; i < len(TLPLevels); i++ {
+		if TLPLevels[i] <= TLPLevels[i-1] {
+			t.Fatalf("TLPLevels not strictly increasing at %d: %v", i, TLPLevels)
+		}
+	}
+	if TLPLevels[len(TLPLevels)-1] != MaxTLP {
+		t.Fatalf("last level %d != MaxTLP %d", TLPLevels[len(TLPLevels)-1], MaxTLP)
+	}
+	if got := Default().MaxTLPPerScheduler(); got != MaxTLP {
+		t.Fatalf("MaxTLPPerScheduler = %d, want %d", got, MaxTLP)
+	}
+}
+
+func TestLevelIndex(t *testing.T) {
+	for i, l := range TLPLevels {
+		if got := LevelIndex(l); got != i {
+			t.Errorf("LevelIndex(%d) = %d, want %d", l, got, i)
+		}
+	}
+	for _, bad := range []int{0, 3, 5, 7, 25, -1} {
+		if got := LevelIndex(bad); got != -1 {
+			t.Errorf("LevelIndex(%d) = %d, want -1", bad, got)
+		}
+	}
+}
+
+func TestClampToLevel(t *testing.T) {
+	cases := map[int]int{
+		-5: 1, 0: 1, 1: 1, 2: 2, 3: 2, 4: 4, 5: 4, 6: 6, 7: 6,
+		8: 8, 11: 8, 12: 12, 15: 12, 16: 16, 23: 16, 24: 24, 100: 24,
+	}
+	for in, want := range cases {
+		if got := ClampToLevel(in); got != want {
+			t.Errorf("ClampToLevel(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestClampToLevelAlwaysValid(t *testing.T) {
+	f := func(x int16) bool {
+		return LevelIndex(ClampToLevel(int(x))) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	good := CacheGeometry{SizeBytes: 16 * 1024, Ways: 4, LineBytes: 128}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good geometry rejected: %v", err)
+	}
+	if got := good.Sets(); got != 32 {
+		t.Fatalf("Sets() = %d, want 32", got)
+	}
+	bad := []CacheGeometry{
+		{SizeBytes: 0, Ways: 4, LineBytes: 128},
+		{SizeBytes: 16 * 1024, Ways: 0, LineBytes: 128},
+		{SizeBytes: 16 * 1024, Ways: 4, LineBytes: 0},
+		{SizeBytes: 100, Ways: 4, LineBytes: 128},      // not divisible
+		{SizeBytes: 3 * 1024, Ways: 2, LineBytes: 128}, // 12 sets, not pow2
+		{SizeBytes: 16 * 1024, Ways: 4, LineBytes: 96}, // line not pow2
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad geometry %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestGPUValidateRejectsBroken(t *testing.T) {
+	mutations := []func(*GPU){
+		func(g *GPU) { g.NumCores = 0 },
+		func(g *GPU) { g.SchedulersPerCore = 0 },
+		func(g *GPU) { g.MaxWarpsPerCore = 47 }, // not divisible by 2 schedulers
+		func(g *GPU) { g.L1.Ways = 0 },
+		func(g *GPU) { g.L2.LineBytes = 64 }, // mismatched line sizes
+		func(g *GPU) { g.NumMemPartitions = 3 },
+		func(g *GPU) { g.BanksPerMC = 12 },
+		func(g *GPU) { g.BankGroupsPerMC = 3 },
+		func(g *GPU) { g.AddrInterleave = 100 },
+		func(g *GPU) { g.RowBytes = 300 },
+		func(g *GPU) { g.MemClockMHz = 0 },
+	}
+	for i, mut := range mutations {
+		g := Default()
+		mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestPartitionOfInterleave(t *testing.T) {
+	g := Default()
+	// Consecutive 256-byte chunks rotate across partitions.
+	for chunk := 0; chunk < 4*g.NumMemPartitions; chunk++ {
+		addr := uint64(chunk * g.AddrInterleave)
+		want := chunk % g.NumMemPartitions
+		if got := g.PartitionOf(addr); got != want {
+			t.Fatalf("PartitionOf(%#x) = %d, want %d", addr, got, want)
+		}
+		// Every byte in the chunk maps to the same partition.
+		if got := g.PartitionOf(addr + uint64(g.AddrInterleave-1)); got != want {
+			t.Fatalf("chunk-end PartitionOf mismatch at %#x", addr)
+		}
+	}
+}
+
+func TestPartitionOfCoversAll(t *testing.T) {
+	g := Default()
+	seen := make(map[int]bool)
+	f := func(addr uint64) bool {
+		p := g.PartitionOf(addr)
+		seen[p] = true
+		return p >= 0 && p < g.NumMemPartitions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != g.NumMemPartitions {
+		t.Fatalf("random addresses touched %d partitions, want %d", len(seen), g.NumMemPartitions)
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	g := Default()
+	want := float64(g.NumMemPartitions * g.BusWidthBytes)
+	if got := g.PeakBandwidthBytesPerMemCycle(); got != want {
+		t.Fatalf("peak = %v, want %v", got, want)
+	}
+	if r := g.MemCyclesPerCoreCycle(); r <= 0 || r >= 1 {
+		t.Fatalf("mem/core clock ratio %v outside (0,1) for the default machine", r)
+	}
+}
+
+func TestStringMentionsKeyFields(t *testing.T) {
+	s := Default().String()
+	for _, want := range []string{"cores=16", "simt=32", "warps/core=48"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HardwareCost itemizes the storage, computation, and communication
+// overheads of the proposed mechanism (Section V-E / Fig. 8), so the
+// repository can regenerate the paper's overhead accounting for any
+// machine shape.
+type HardwareCost struct {
+	NumApps          int
+	NumCores         int
+	NumMemPartitions int
+
+	// Storage, in bits.
+	PerCoreRegisterBits      int // L1 access + miss counters on the designated core
+	PerPartitionRegisterBits int // per-app L2 access/miss + bandwidth counters
+	SamplingTableBits        int // the 16-entry EB table in the warp issue arbiter
+	TotalStorageBits         int
+
+	// Communication: bits relayed from the designated partition to the
+	// cores once per sampling window, and the modeled relay latency.
+	RelayBitsPerWindow int
+	RelayLatencyCycles int
+
+	// Computation: comparisons per search step over the sampling table.
+	TableEntries int
+}
+
+// CostModel returns the overhead accounting for a machine with the given
+// shape. Counter widths follow the paper: two 32-bit registers per
+// designated core; per memory partition, three 32-bit registers and one
+// 50-bit bandwidth register per application.
+func CostModel(numApps, numCores, numMemPartitions int) HardwareCost {
+	const (
+		ctrBits = 32
+		bwBits  = 50
+	)
+	perCore := 2 * ctrBits
+	perPart := numApps * (3*ctrBits + bwBits)
+	// Sampling table: per entry, per app: TLP level (5 bits, <=24) and a
+	// 16-bit fixed-point EB.
+	tableBits := tableSize * numApps * (5 + 16)
+	relay := numApps * (3*ctrBits + bwBits)
+	return HardwareCost{
+		NumApps:                  numApps,
+		NumCores:                 numCores,
+		NumMemPartitions:         numMemPartitions,
+		PerCoreRegisterBits:      perCore,
+		PerPartitionRegisterBits: perPart,
+		SamplingTableBits:        tableBits,
+		TotalStorageBits: numApps*perCore + // one designated core per app
+			numMemPartitions*perPart + tableBits*numCores,
+		RelayBitsPerWindow: relay,
+		RelayLatencyCycles: 32,
+		TableEntries:       tableSize,
+	}
+}
+
+// String renders the accounting as the Fig. 8 style breakdown.
+func (h HardwareCost) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PBS hardware overheads (%d apps, %d cores, %d partitions)\n",
+		h.NumApps, h.NumCores, h.NumMemPartitions)
+	fmt.Fprintf(&b, "  storage: %d bits/designated core, %d bits/partition, %d-bit sampling table/core\n",
+		h.PerCoreRegisterBits, h.PerPartitionRegisterBits, h.SamplingTableBits)
+	fmt.Fprintf(&b, "  storage total: %d bits (%.1f bytes/core equivalent)\n",
+		h.TotalStorageBits, float64(h.TotalStorageBits)/8/float64(h.NumCores))
+	fmt.Fprintf(&b, "  communication: %d bits relayed per sampling window, %d-cycle latency\n",
+		h.RelayBitsPerWindow, h.RelayLatencyCycles)
+	fmt.Fprintf(&b, "  computation: linear search over %d table entries per decision\n",
+		h.TableEntries)
+	return b.String()
+}

@@ -1,0 +1,892 @@
+// Package core implements the paper's contribution: effective-bandwidth
+// monitoring and the Pattern-Based Searching (PBS) TLP managers PBS-WS,
+// PBS-FI, and PBS-HS (Section V).
+//
+// PBS finds, online, the per-application TLP combination that maximizes an
+// EB-based system metric. Instead of exhaustively sampling all 64
+// combinations, it exploits the pattern that an application's EB
+// inflection point sits at the same TLP level regardless of the
+// co-runners' TLP:
+//
+//  1. (Guideline-1) start from maxTLP for everyone so resources are not
+//     under-utilized;
+//  2. sweep each application's TLP with the co-runners pinned at maxTLP
+//     and find the *critical application* — the one whose sweep causes
+//     the largest drop in the EB metric — then pin it at its inflection
+//     point (the sweep's argmax);
+//  3. tune the non-critical application(s) downward from maxTLP and stop
+//     as soon as the metric no longer improves.
+//
+// Every step executes for real on the simulated GPU, so all sampling
+// overheads (suboptimal exploration windows, settling time after a TLP
+// change, decision relay latency) are paid exactly as the paper models
+// them. The search restarts whenever a kernel is re-launched.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ebm/internal/config"
+	"ebm/internal/metrics"
+	"ebm/internal/tlp"
+)
+
+// ScaleMode selects how PBS-FI / PBS-HS obtain the alone-EB scaling
+// factors of Section IV.
+type ScaleMode int
+
+const (
+	// NoScale uses raw EB values (the paper's choice for optimizing WS).
+	NoScale ScaleMode = iota
+	// GroupScale uses user-supplied per-application values (the paper's
+	// "group information" — the average alone-EB of the app's group).
+	GroupScale
+	// SampledScale measures each application's EB online while the
+	// co-runners run at TLP=1 (least interference), approximating its
+	// alone EB.
+	SampledScale
+)
+
+// String implements fmt.Stringer.
+func (m ScaleMode) String() string {
+	switch m {
+	case NoScale:
+		return "none"
+	case GroupScale:
+		return "group"
+	case SampledScale:
+		return "sampled"
+	default:
+		return fmt.Sprintf("ScaleMode(%d)", int(m))
+	}
+}
+
+// TableEntry is one line of the Fig. 8 sampling table: the EB of every
+// application observed under one TLP combination.
+type TableEntry struct {
+	TLP []int
+	EB  []float64
+}
+
+// tableSize is the hardware sampling-table capacity (Fig. 8).
+const tableSize = 16
+
+type phase int
+
+const (
+	phInit   phase = iota // apply (max,max,...), settle
+	phScale               // sampled-scale measurement rounds
+	phSweep               // per-app TLP sweeps (find the critical app)
+	phTune                // tune the non-critical apps
+	phStable              // hold the chosen combination
+)
+
+func (p phase) String() string {
+	switch p {
+	case phInit:
+		return "init"
+	case phScale:
+		return "scale"
+	case phSweep:
+		return "sweep"
+	case phTune:
+		return "tune"
+	case phStable:
+		return "stable"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// PBS is the online pattern-based searching TLP manager.
+type PBS struct {
+	// Objective selects the EB metric: ObjWS -> PBS-WS, ObjFI -> PBS-FI,
+	// ObjHS -> PBS-HS.
+	Objective metrics.Objective
+
+	// Scaling selects the alone-EB scaling source; GroupValues supplies
+	// the factors when Scaling == GroupScale.
+	Scaling     ScaleMode
+	GroupValues []float64
+
+	// SweepLevels are the TLP levels probed during the critical-app
+	// sweep (default 1,2,4,8,16,24).
+	SweepLevels []int
+
+	// SettleWindows is how many sampling windows to discard after every
+	// TLP change before trusting a measurement (cache warm-up).
+	SettleWindows int
+
+	// MeasureWindows is how many post-settle windows are averaged into
+	// one observation. The designated-core/partition sampling hardware is
+	// cheap but noisy; averaging is the paper's "monitoring interval of N
+	// cycles per combination" knob.
+	MeasureWindows int
+
+	// TunePatience is how many consecutive non-improving tuning steps are
+	// tolerated before the search stops and reverts to the best level
+	// seen (guards against a noisy window ending the search early).
+	TunePatience int
+
+	// FullSearchEvery controls how often a kernel relaunch triggers a
+	// full sweep-based re-search instead of a quick re-tune. The pattern
+	// property (inflection points persist across co-runner behaviour) is
+	// exactly what makes the quick path sound: the critical application
+	// and its inflection are retained and only the non-critical TLPs are
+	// re-tuned against the new interference. Every FullSearchEvery-th
+	// relaunch re-validates the pattern with full sweeps. 1 forces a full
+	// search every time.
+	FullSearchEvery int
+
+	// DriftThreshold, when positive, enables re-searching without a
+	// kernel relaunch (an extension beyond the paper): if the observed
+	// metric stays below DriftThreshold x the value the search locked in
+	// for DriftWindows consecutive stable windows, the interference has
+	// shifted and the sweeps restart. Zero disables.
+	DriftThreshold float64
+	DriftWindows   int
+
+	numApps int
+	ph      phase
+	settle  int
+	cur     tlp.Decision
+
+	scale    []float64
+	scaleApp int
+
+	sweepApp   int
+	sweepIdx   int
+	sweepM     [][]float64 // [app][levelIdx] metric
+	ownEB      [][]float64 // [app][levelIdx] that app's own EB during its sweep
+	sweepD     [][]float64 // [app][levelIdx] scaled EB-difference (FI mode)
+	sweepSum   [][]float64 // [app][levelIdx] scaled EB sum (FI-mode health)
+	sweepRawA  [][]float64 // [app][levelIdx] raw EB of app 0 (FI mode)
+	sweepRawB  [][]float64 // [app][levelIdx] raw EB of app 1 (FI mode)
+	capLevel   []int       // per-app Guideline-2 cap: own-EB inflection level
+	critical   int
+	fixedTLP   int
+	tuneOrder  []int // apps to tune, after the critical one
+	tuneAppIdx int
+	tuneLvlIdx int // index into descending levels
+	tuneBestM  float64
+	tuneBestT  int
+	tuneMiss   int
+	haveBest   bool
+	tuneDiffs  []float64 // FI mode: EB-difference per visited tune level
+	tuneSums   []float64 // FI mode: scaled EB sum per visited tune level
+
+	stableM    float64 // metric value when the search stabilized
+	driftCount int
+
+	// Measurement accumulator (averaging MeasureWindows windows).
+	accN   int
+	accM   float64
+	accEB  []float64
+	accD   float64
+	accSum float64
+
+	sinceFull int // relaunch-restarts since the last full sweep search
+
+	table    []TableEntry
+	searches uint64 // completed searches (telemetry)
+	restarts uint64
+	drifts   uint64
+}
+
+// NewPBS returns a PBS manager for the given objective. PBS-FI and PBS-HS
+// default to sampled scaling (no user input needed); pass GroupValues and
+// set Scaling to GroupScale to use group information instead.
+func NewPBS(obj metrics.Objective) *PBS {
+	p := &PBS{
+		Objective:       obj,
+		SweepLevels:     []int{1, 2, 4, 8, 16, 24},
+		SettleWindows:   1,
+		MeasureWindows:  2,
+		TunePatience:    2,
+		FullSearchEvery: 4,
+	}
+	if obj != metrics.ObjWS {
+		p.Scaling = SampledScale
+	}
+	return p
+}
+
+// Name implements tlp.Manager.
+func (p *PBS) Name() string {
+	n := "PBS-" + p.Objective.String()
+	if p.Objective != metrics.ObjWS {
+		n += "(" + p.Scaling.String() + ")"
+	}
+	return n
+}
+
+// Initial implements tlp.Manager.
+func (p *PBS) Initial(numApps int) tlp.Decision {
+	p.numApps = numApps
+	p.cur = tlp.NewDecision(numApps, config.MaxTLP)
+	p.ph = phInit
+	p.settle = p.SettleWindows
+	p.scale = nil
+	if p.Scaling == GroupScale {
+		p.scale = append([]float64(nil), p.GroupValues...)
+	}
+	p.resetSearch()
+	return p.cur.Clone()
+}
+
+func (p *PBS) resetSearch() {
+	p.sweepApp = 0
+	p.sweepIdx = 0
+	p.sweepM = make([][]float64, p.numApps)
+	p.ownEB = make([][]float64, p.numApps)
+	p.sweepD = make([][]float64, p.numApps)
+	p.sweepSum = make([][]float64, p.numApps)
+	p.sweepRawA = make([][]float64, p.numApps)
+	p.sweepRawB = make([][]float64, p.numApps)
+	for i := range p.sweepM {
+		p.sweepM[i] = make([]float64, len(p.SweepLevels))
+		p.ownEB[i] = make([]float64, len(p.SweepLevels))
+		p.sweepD[i] = make([]float64, len(p.SweepLevels))
+		p.sweepSum[i] = make([]float64, len(p.SweepLevels))
+		p.sweepRawA[i] = make([]float64, len(p.SweepLevels))
+		p.sweepRawB[i] = make([]float64, len(p.SweepLevels))
+	}
+	if p.Scaling == SampledScale {
+		p.scale = nil // re-measure after the sweeps
+	}
+	p.capLevel = nil
+	p.tuneDiffs = nil
+	p.tuneSums = nil
+	p.stableM = 0
+	p.driftCount = 0
+	p.resetAcc()
+	p.critical = -1
+	p.tuneOrder = nil
+	p.tuneAppIdx = 0
+	p.tuneLvlIdx = 0
+	p.haveBest = false
+	p.scaleApp = 0
+}
+
+// metric evaluates the objective's EB metric over a sample.
+func (p *PBS) metric(s tlp.Sample) float64 {
+	ebs := make([]float64, len(s.Apps))
+	for i := range s.Apps {
+		ebs[i] = s.Apps[i].EB
+	}
+	var scale []float64
+	if p.Objective != metrics.ObjWS && p.Scaling != NoScale {
+		scale = p.scale
+	}
+	return p.Objective.EBMetric(ebs, scale)
+}
+
+// record stores one probed combination's averaged EBs in the bounded
+// hardware sampling table.
+func (p *PBS) record(ebs []float64) {
+	e := TableEntry{TLP: make([]int, p.numApps), EB: make([]float64, p.numApps)}
+	for i := 0; i < p.numApps && i < len(ebs); i++ {
+		e.TLP[i] = config.ClampToLevel(p.cur.TLP[i])
+		e.EB[i] = ebs[i]
+	}
+	if len(p.table) >= tableSize {
+		copy(p.table, p.table[1:])
+		p.table = p.table[:tableSize-1]
+	}
+	p.table = append(p.table, e)
+}
+
+// Table returns a copy of the sampling table contents.
+func (p *PBS) Table() []TableEntry {
+	out := make([]TableEntry, len(p.table))
+	copy(out, p.table)
+	return out
+}
+
+// Searches returns how many full searches have completed.
+func (p *PBS) Searches() uint64 { return p.searches }
+
+// Restarts returns how many kernel-relaunch restarts occurred.
+func (p *PBS) Restarts() uint64 { return p.restarts }
+
+// Drifts returns how many drift-triggered re-searches occurred (only
+// non-zero when DriftThreshold is enabled).
+func (p *PBS) Drifts() uint64 { return p.drifts }
+
+// Phase returns the current phase name (tracing/tests).
+func (p *PBS) Phase() string { return p.ph.String() }
+
+// Searching reports whether PBS is currently exploring (the shaded
+// sampling periods of Fig. 11).
+func (p *PBS) Searching() bool { return p.ph != phStable }
+
+// OnSample implements tlp.Manager: one step of the search state machine.
+func (p *PBS) OnSample(s tlp.Sample) tlp.Decision {
+	if p.numApps != len(s.Apps) {
+		p.Initial(len(s.Apps))
+	}
+
+	// A kernel relaunch restarts the search (Section V-E). Thanks to the
+	// pattern property, most restarts only re-tune; full sweeps re-run
+	// every FullSearchEvery-th relaunch.
+	for i := range s.Apps {
+		if s.Apps[i].KernelRelaunched && p.ph == phStable {
+			p.restarts++
+			if p.searches > 0 && p.critical >= 0 && p.sinceFull+1 < maxInt(1, p.FullSearchEvery) {
+				p.sinceFull++
+				p.startQuickTune()
+			} else {
+				p.sinceFull = 0
+				p.startSweeps()
+			}
+			return p.cur.Clone()
+		}
+	}
+
+	if p.settle > 0 {
+		p.settle--
+		return p.cur.Clone()
+	}
+
+	// Accumulate this window into the current observation; act only once
+	// MeasureWindows windows have been averaged.
+	p.accumulate(s)
+	if p.accN < maxInt(1, p.MeasureWindows) {
+		return p.cur.Clone()
+	}
+	m, ebs, d, sum := p.takeMeasurement()
+	if p.ph != phStable {
+		// One sampling-table row per probed combination (Fig. 8).
+		p.record(ebs)
+	}
+
+	switch p.ph {
+	case phInit:
+		// Utilization established at maxTLP (Guideline-1); run the sweeps.
+		// Sampled alone-EB scaling, when needed, happens after the sweeps
+		// so each application can be measured at its own inflection TLP
+		// (the online stand-in for "alone at bestTLP", Section IV).
+		p.startSweeps()
+
+	case phScale:
+		// The windows just measured app scaleApp at its inflection cap
+		// with every co-runner at TLP 1 (least interference): its EB
+		// approximates the alone EB at bestTLP.
+		if p.scale == nil {
+			p.scale = make([]float64, p.numApps)
+		}
+		p.scale[p.scaleApp] = ebs[p.scaleApp]
+		p.scaleApp++
+		if p.scaleApp < p.numApps {
+			p.applyScaleCombo()
+		} else {
+			p.finishSweeps()
+		}
+
+	case phSweep:
+		p.sweepM[p.sweepApp][p.sweepIdx] = m
+		p.ownEB[p.sweepApp][p.sweepIdx] = ebs[p.sweepApp]
+		if p.fiMode() {
+			p.sweepRawA[p.sweepApp][p.sweepIdx] = ebs[0]
+			p.sweepRawB[p.sweepApp][p.sweepIdx] = ebs[1]
+		}
+		p.sweepIdx++
+		if p.sweepIdx >= len(p.SweepLevels) {
+			p.sweepIdx = 0
+			p.sweepApp++
+		}
+		if p.sweepApp < p.numApps {
+			p.applySweepCombo()
+		} else {
+			p.computeCaps()
+			if p.fiMode() && p.Scaling == SampledScale {
+				// Measure the alone-EB scaling factors before analyzing.
+				p.ph = phScale
+				p.scaleApp = 0
+				p.applyScaleCombo()
+			} else {
+				p.finishSweeps()
+			}
+		}
+
+	case phTune:
+		if p.fiMode() {
+			p.tuneStepFI(d, sum)
+		} else {
+			p.tuneStep(m)
+		}
+
+	case phStable:
+		// Hold, optionally watching for interference drift (the paper
+		// restarts only on kernel relaunch; DriftThreshold extends that).
+		if p.DriftThreshold > 0 {
+			if p.stableM == 0 {
+				p.stableM = m
+			}
+			if m < p.DriftThreshold*p.stableM {
+				p.driftCount++
+				if p.driftCount >= maxInt(1, p.DriftWindows) {
+					p.drifts++
+					p.startSweeps()
+				}
+			} else {
+				p.driftCount = 0
+				// Track slow improvement so the reference stays honest.
+				if m > p.stableM {
+					p.stableM = m
+				}
+			}
+		}
+	}
+	return p.cur.Clone()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// resetAcc clears the measurement accumulator.
+func (p *PBS) resetAcc() {
+	p.accN = 0
+	p.accM = 0
+	p.accD = 0
+	p.accSum = 0
+	if p.accEB == nil || len(p.accEB) != p.numApps {
+		p.accEB = make([]float64, p.numApps)
+	} else {
+		for i := range p.accEB {
+			p.accEB[i] = 0
+		}
+	}
+}
+
+// accumulate folds one window into the current observation.
+func (p *PBS) accumulate(s tlp.Sample) {
+	if p.accEB == nil || len(p.accEB) != p.numApps {
+		p.resetAcc()
+	}
+	p.accM += p.metric(s)
+	for i := range s.Apps {
+		p.accEB[i] += s.Apps[i].EB
+	}
+	if p.fiMode() {
+		d, sum := p.scaledDiff(s)
+		p.accD += d
+		p.accSum += sum
+	}
+	p.accN++
+}
+
+// takeMeasurement returns the averaged observation and resets the
+// accumulator.
+func (p *PBS) takeMeasurement() (m float64, ebs []float64, d, sum float64) {
+	n := float64(p.accN)
+	m = p.accM / n
+	ebs = make([]float64, p.numApps)
+	for i := range ebs {
+		ebs[i] = p.accEB[i] / n
+	}
+	d = p.accD / n
+	sum = p.accSum / n
+	p.resetAcc()
+	return
+}
+
+// applyScaleCombo runs scaleApp at its own inflection cap (the online
+// approximation of bestTLP) with all co-runners throttled to TLP 1, the
+// least-interference configuration the paper prescribes for approximating
+// alone EB.
+func (p *PBS) applyScaleCombo() {
+	own := config.MaxTLP
+	if p.ownEB != nil {
+		// The app's own-EB peak during its sweep approximates bestTLP.
+		_, am := dropAndArgmax(p.ownEB[p.scaleApp])
+		own = p.SweepLevels[am]
+	}
+	for i := range p.cur.TLP {
+		if i == p.scaleApp {
+			p.cur.TLP[i] = own
+		} else {
+			p.cur.TLP[i] = 1
+		}
+	}
+	p.settle = p.SettleWindows
+}
+
+func (p *PBS) startSweeps() {
+	p.resetSearch()
+	p.ph = phSweep
+	p.applySweepCombo()
+}
+
+// startQuickTune re-enters the tuning phase reusing the previous search's
+// critical application, inflection pin, caps, and tune order.
+func (p *PBS) startQuickTune() {
+	for i := range p.cur.TLP {
+		if i == p.critical {
+			p.cur.TLP[i] = p.fixedTLP
+		} else {
+			p.cur.TLP[i] = p.capLevel[i]
+		}
+	}
+	p.ph = phTune
+	p.tuneAppIdx = 0
+	p.tuneLvlIdx = 0
+	p.tuneMiss = 0
+	p.haveBest = false
+	p.tuneDiffs = p.tuneDiffs[:0]
+	p.tuneSums = p.tuneSums[:0]
+	p.resetAcc()
+	p.stableM = 0
+	p.driftCount = 0
+	p.settle = p.SettleWindows
+}
+
+// applySweepCombo sets sweepApp to SweepLevels[sweepIdx] and everyone else
+// to maxTLP.
+func (p *PBS) applySweepCombo() {
+	for i := range p.cur.TLP {
+		if i == p.sweepApp {
+			p.cur.TLP[i] = p.SweepLevels[p.sweepIdx]
+		} else {
+			p.cur.TLP[i] = config.MaxTLP
+		}
+	}
+	p.settle = p.SettleWindows
+}
+
+// fiMode reports whether the paper's pairwise EB-difference procedure
+// (Section V-C, Fig. 7) drives the search instead of the generic metric
+// climb. It applies to two-application workloads optimizing FI.
+func (p *PBS) fiMode() bool {
+	return p.Objective == metrics.ObjFI && p.numApps == 2
+}
+
+// scaledDiff returns the scaled EB-difference (app0 - app1) and the scaled
+// EB sum for a sample. A low |difference| means a balanced (fair) system;
+// the sum guards against "fair but dead" points where both applications
+// are starved.
+func (p *PBS) scaledDiff(s tlp.Sample) (diff, sum float64) {
+	e0, e1 := s.Apps[0].EB, s.Apps[1].EB
+	if p.scale != nil && len(p.scale) >= 2 {
+		if p.scale[0] > 0 {
+			e0 /= p.scale[0]
+		}
+		if p.scale[1] > 0 {
+			e1 /= p.scale[1]
+		}
+	}
+	return e0 - e1, e0 + e1
+}
+
+// chooseByDiff picks the index whose EB-difference is "near zero" in the
+// paper's sense: prefer an actual sign crossing (the balance point the
+// Fig. 7 curves pass through); among crossings take the endpoint with the
+// smaller |diff|. Without a crossing, take the smallest |diff| among
+// levels that are healthy (scaled EB sum at least healthyFrac of the
+// maximum seen), so mutual-starvation points do not masquerade as fair.
+func chooseByDiff(diffs, sums []float64) int {
+	const healthyFrac = 0.4
+	best := -1
+	for i := 0; i+1 < len(diffs); i++ {
+		if (diffs[i] <= 0) == (diffs[i+1] <= 0) {
+			continue
+		}
+		cand := i
+		if abs(diffs[i+1]) < abs(diffs[i]) {
+			cand = i + 1
+		}
+		if best == -1 || abs(diffs[cand]) < abs(diffs[best]) {
+			best = cand
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	maxSum := 0.0
+	for _, s := range sums {
+		if s > maxSum {
+			maxSum = s
+		}
+	}
+	for i, d := range diffs {
+		if sums[i] < healthyFrac*maxSum {
+			continue
+		}
+		if best == -1 || abs(d) < abs(diffs[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Degenerate: everything unhealthy; fall back to global argmin.
+	best = 0
+	for i := range diffs {
+		if abs(diffs[i]) < abs(diffs[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// curveRange returns max-min of a curve (the paper's "larger changes in
+// EB-difference" criticality test).
+func curveRange(m []float64) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	lo, hi := m[0], m[0]
+	for _, v := range m {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// computeCaps derives the Guideline-2 TLP caps: an application's own-EB
+// curve caps the TLP it may be given — past its inflection the
+// application overwhelms resources and its EB collapses. The cap only
+// excludes levels where the app's own EB has fallen far below its peak,
+// so noisy-flat curves (an app crushed by the pinned co-runner) impose no
+// cap.
+func (p *PBS) computeCaps() {
+	p.capLevel = make([]int, p.numApps)
+	for app := 0; app < p.numApps; app++ {
+		p.capLevel[app] = capByCollapse(p.ownEB[app], p.SweepLevels)
+	}
+}
+
+// finishSweeps identifies the critical application and its inflection
+// point, fixes it, and begins tuning the others.
+func (p *PBS) finishSweeps() {
+	if p.capLevel == nil {
+		p.computeCaps()
+	}
+
+	if p.fiMode() {
+		// Derive the scaled difference curves from the raw sweep EBs and
+		// the (possibly just-sampled) scaling factors.
+		for app := 0; app < p.numApps; app++ {
+			for li := range p.SweepLevels {
+				e0, e1 := p.sweepRawA[app][li], p.sweepRawB[app][li]
+				if p.scale != nil && len(p.scale) >= 2 {
+					if p.scale[0] > 0 {
+						e0 /= p.scale[0]
+					}
+					if p.scale[1] > 0 {
+						e1 /= p.scale[1]
+					}
+				}
+				p.sweepD[app][li] = e0 - e1
+				p.sweepSum[app][li] = e0 + e1
+			}
+		}
+		// Section V-C: the application inducing larger changes in the
+		// EB-difference is critical; fix it where the difference is near
+		// zero (the balance crossing).
+		if curveRange(p.sweepD[0]) >= curveRange(p.sweepD[1]) {
+			p.critical = 0
+		} else {
+			p.critical = 1
+		}
+		idx := chooseByDiff(p.sweepD[p.critical], p.sweepSum[p.critical])
+		p.fixedTLP = p.SweepLevels[idx]
+	} else {
+		bestDrop := -1.0
+		for app := 0; app < p.numApps; app++ {
+			drop, _ := dropAndArgmax(p.sweepM[app])
+			if drop > bestDrop {
+				bestDrop = drop
+				p.critical = app
+			}
+		}
+		_, argmax := dropAndArgmax(p.sweepM[p.critical])
+		p.fixedTLP = p.SweepLevels[argmax]
+	}
+	if p.fixedTLP > p.capLevel[p.critical] {
+		p.fixedTLP = p.capLevel[p.critical]
+	}
+
+	// Tune the remaining apps in order of decreasing sweep drop (most
+	// disruptive first).
+	for app := 0; app < p.numApps; app++ {
+		if app != p.critical {
+			p.tuneOrder = append(p.tuneOrder, app)
+		}
+	}
+	sort.SliceStable(p.tuneOrder, func(i, j int) bool {
+		di, _ := dropAndArgmax(p.sweepM[p.tuneOrder[i]])
+		dj, _ := dropAndArgmax(p.sweepM[p.tuneOrder[j]])
+		return di > dj
+	})
+
+	for i := range p.cur.TLP {
+		if i == p.critical {
+			p.cur.TLP[i] = p.fixedTLP
+		} else {
+			p.cur.TLP[i] = p.capLevel[i]
+		}
+	}
+	p.ph = phTune
+	p.tuneAppIdx = 0
+	p.tuneLvlIdx = 0
+	p.tuneMiss = 0
+	p.haveBest = false
+	p.settle = p.SettleWindows
+}
+
+// tuneLevelsFor returns the descending candidate levels for tuning app,
+// excluding levels past the app's Guideline-2 inflection cap.
+func (p *PBS) tuneLevelsFor(app int) []int {
+	cap := config.MaxTLP
+	if p.capLevel != nil {
+		cap = p.capLevel[app]
+	}
+	var lv []int
+	for _, l := range p.SweepLevels {
+		if l <= cap {
+			lv = append(lv, l)
+		}
+	}
+	if len(lv) == 0 {
+		lv = []int{p.SweepLevels[0]}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lv)))
+	return lv
+}
+
+// tuneStep consumes the measurement of the current tuning combination and
+// either advances to the next level, the next app, or stabilizes.
+func (p *PBS) tuneStep(m float64) {
+	app := p.tuneOrder[p.tuneAppIdx]
+	levels := p.tuneLevelsFor(app)
+
+	if !p.haveBest || m > p.tuneBestM {
+		p.tuneBestM = m
+		p.tuneBestT = levels[p.tuneLvlIdx]
+		p.tuneMiss = 0
+		p.haveBest = true
+	} else {
+		p.tuneMiss++
+	}
+	p.tuneLvlIdx++
+	if p.tuneLvlIdx < len(levels) && p.tuneMiss < p.TunePatience {
+		p.cur.TLP[app] = levels[p.tuneLvlIdx]
+		p.settle = p.SettleWindows
+		return
+	}
+
+	// Done with this app: revert to its best level and move on.
+	p.cur.TLP[app] = p.tuneBestT
+	p.tuneAppIdx++
+	if p.tuneAppIdx < len(p.tuneOrder) {
+		next := p.tuneOrder[p.tuneAppIdx]
+		p.tuneLvlIdx = 0
+		p.tuneMiss = 0
+		p.haveBest = false
+		p.cur.TLP[next] = p.tuneLevelsFor(next)[0]
+		p.settle = p.SettleWindows
+		return
+	}
+	p.ph = phStable
+	p.searches++
+	p.settle = p.SettleWindows
+}
+
+// tuneStepFI runs the FI tuning scan: the non-critical application visits
+// every capped level (descending) while the EB-difference is recorded;
+// the level nearest the balance crossing wins (Fig. 7b: "searching is
+// stopped when the lowest absolute EB-difference is found").
+func (p *PBS) tuneStepFI(d, sum float64) {
+	app := p.tuneOrder[p.tuneAppIdx]
+	levels := p.tuneLevelsFor(app)
+
+	p.tuneDiffs = append(p.tuneDiffs, d)
+	p.tuneSums = append(p.tuneSums, sum)
+
+	p.tuneLvlIdx++
+	if p.tuneLvlIdx < len(levels) {
+		p.cur.TLP[app] = levels[p.tuneLvlIdx]
+		p.settle = p.SettleWindows
+		return
+	}
+	pick := chooseByDiff(p.tuneDiffs, p.tuneSums)
+	p.cur.TLP[app] = levels[pick]
+	p.tuneAppIdx++
+	if p.tuneAppIdx < len(p.tuneOrder) {
+		next := p.tuneOrder[p.tuneAppIdx]
+		p.tuneLvlIdx = 0
+		p.tuneDiffs = p.tuneDiffs[:0]
+		p.tuneSums = p.tuneSums[:0]
+		p.cur.TLP[next] = p.tuneLevelsFor(next)[0]
+		p.settle = p.SettleWindows
+		return
+	}
+	p.ph = phStable
+	p.searches++
+	p.settle = p.SettleWindows
+}
+
+// collapseFrac is the fraction of an application's peak own-EB below
+// which a TLP level counts as past the inflection (Guideline-2).
+const collapseFrac = 0.6
+
+// capByCollapse returns the largest level whose own-EB retains at least
+// collapseFrac of the curve's peak. Flat or rising curves return the top
+// level (no cap).
+func capByCollapse(curve []float64, levels []int) int {
+	if len(curve) == 0 {
+		return levels[len(levels)-1]
+	}
+	peak := curve[0]
+	for _, v := range curve {
+		if v > peak {
+			peak = v
+		}
+	}
+	for i := len(curve) - 1; i >= 0; i-- {
+		if curve[i] >= collapseFrac*peak {
+			return levels[i]
+		}
+	}
+	return levels[0]
+}
+
+// dropAndArgmax returns the magnitude of the sharpest post-peak decline
+// in the metric curve and the index of the curve's maximum (the inflection
+// point).
+func dropAndArgmax(m []float64) (drop float64, argmax int) {
+	if len(m) == 0 {
+		return 0, 0
+	}
+	maxV := m[0]
+	for i, v := range m {
+		if v > maxV {
+			maxV = v
+			argmax = i
+		}
+	}
+	minAfter := maxV
+	for _, v := range m[argmax:] {
+		if v < minAfter {
+			minAfter = v
+		}
+	}
+	return maxV - minAfter, argmax
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"testing"
+
+	"ebm/internal/config"
+	"ebm/internal/metrics"
+	"ebm/internal/tlp"
+)
+
+// surface is a synthetic machine: it maps a TLP combination to per-app EB
+// values, letting the search be tested against a known-optimal landscape.
+type surface func(tlps []int) []float64
+
+// levelPos maps a TLP value to a position in the canonical level list.
+func levelPos(t *testing.T, v int) int {
+	t.Helper()
+	for i, l := range config.TLPLevels {
+		if l == v {
+			return i
+		}
+	}
+	t.Fatalf("TLP %d not a level", v)
+	return -1
+}
+
+// patterned builds a two-app surface with the paper's pattern property:
+// app0 has a sharp own-EB inflection at TLP 4 (cache cliff) regardless of
+// the co-runner; app1 is a streamer peaking at 8; each is mildly depressed
+// by the other's load.
+func patterned(t *testing.T) surface {
+	shape0 := []float64{0.5, 0.8, 1.0, 0.45, 0.30, 0.20} // over {1,2,4,8,16,24}... indexes by level position below
+	shape1 := []float64{0.30, 0.50, 0.70, 0.75, 0.80, 0.62, 0.55, 0.50}
+	return func(tlps []int) []float64 {
+		i0 := levelPos(t, tlps[0])
+		i1 := levelPos(t, tlps[1])
+		// shape0 is defined over the 6 sweep levels; expand to 8 by
+		// mapping positions {0,1,2,4,6,7} and interpolating 3,5.
+		s0 := []float64{shape0[0], shape0[1], shape0[2], (shape0[2] + shape0[3]) / 2,
+			shape0[3], (shape0[3] + shape0[4]) / 2, shape0[4], shape0[5]}
+		load0 := float64(tlps[0]) / 24
+		load1 := float64(tlps[1]) / 24
+		return []float64{
+			s0[i0] * (1 - 0.25*load1),
+			shape1[i1] * (1 - 0.25*load0),
+		}
+	}
+}
+
+// drive runs the manager against a surface for n windows, returning the
+// final decision. Relaunch flags fire at the given window indices.
+func drive(m tlp.Manager, surf surface, n int, relaunchAt map[int]bool) tlp.Decision {
+	d := m.Initial(2)
+	for w := 0; w < n; w++ {
+		ebs := surf(clamped(d.TLP))
+		s := tlp.Sample{Cycle: uint64(w+1) * 1000, Apps: []tlp.AppSample{
+			{App: 0, TLP: clampOne(d.TLP[0]), EB: ebs[0], BW: ebs[0] / 4, CMR: 0.25},
+			{App: 1, TLP: clampOne(d.TLP[1]), EB: ebs[1], BW: ebs[1] / 4, CMR: 0.25},
+		}}
+		if relaunchAt[w] {
+			s.Apps[0].KernelRelaunched = true
+		}
+		s.TotalBW = s.Apps[0].BW + s.Apps[1].BW
+		d = m.OnSample(s)
+	}
+	return d
+}
+
+func clamped(tlps []int) []int {
+	out := make([]int, len(tlps))
+	for i, v := range tlps {
+		out[i] = config.ClampToLevel(v)
+	}
+	return out
+}
+
+func clampOne(v int) int { return config.ClampToLevel(v) }
+
+// bestOnSurface brute-forces the surface for the combo maximizing eval.
+func bestOnSurface(surf surface, eval func([]float64) float64) ([]int, float64) {
+	var bestC []int
+	best := -1.0
+	for _, a := range config.TLPLevels {
+		for _, b := range config.TLPLevels {
+			v := eval(surf([]int{a, b}))
+			if v > best {
+				best = v
+				bestC = []int{a, b}
+			}
+		}
+	}
+	return bestC, best
+}
+
+func TestPBSWSFindsNearOptimalCombo(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjWS)
+	d := drive(m, surf, 80, nil)
+	if m.Phase() != "stable" {
+		t.Fatalf("search not finished: phase %s", m.Phase())
+	}
+	got := metrics.EBWS(surf(clamped(d.TLP)))
+	_, best := bestOnSurface(surf, metrics.EBWS)
+	if got < 0.93*best {
+		t.Fatalf("PBS-WS found %v with EB-WS %.3f, below 93%% of optimum %.3f",
+			d.TLP, got, best)
+	}
+}
+
+func TestPBSPinsCriticalAppInflection(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjWS)
+	d := drive(m, surf, 80, nil)
+	// App 0's cliff at TLP 4 dominates the EB-WS drop; PBS must hold
+	// app 0 at or below its inflection.
+	if c := config.ClampToLevel(d.TLP[0]); c > 4 {
+		t.Fatalf("critical app pinned at %d, beyond its inflection 4", c)
+	}
+}
+
+func TestPBSDecisionsAlwaysValidLevels(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjWS)
+	d := m.Initial(2)
+	for w := 0; w < 60; w++ {
+		for _, v := range d.TLP {
+			if config.LevelIndex(config.ClampToLevel(v)) < 0 || v < 1 || v > config.MaxTLP {
+				t.Fatalf("window %d: invalid TLP %d", w, v)
+			}
+		}
+		ebs := surf(clamped(d.TLP))
+		d = m.OnSample(tlp.Sample{Apps: []tlp.AppSample{
+			{App: 0, TLP: d.TLP[0], EB: ebs[0]},
+			{App: 1, TLP: d.TLP[1], EB: ebs[1]},
+		}})
+	}
+}
+
+func TestPBSRestartsOnKernelRelaunch(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjWS)
+	drive(m, surf, 120, map[int]bool{100: true})
+	if m.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", m.Restarts())
+	}
+	if m.Searches() < 1 {
+		t.Fatalf("searches = %d", m.Searches())
+	}
+}
+
+func TestPBSRelaunchDuringSearchIgnored(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjWS)
+	// Relaunch at window 2, long before the search finishes: must not
+	// reset (the paper restarts PBS per relaunch once running).
+	drive(m, surf, 80, map[int]bool{2: true})
+	if m.Restarts() != 0 {
+		t.Fatalf("restart counted during initial search")
+	}
+	if m.Searches() != 1 {
+		t.Fatalf("searches = %d, want 1", m.Searches())
+	}
+}
+
+func TestPBSDriftRestartsSearch(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjWS)
+	m.DriftThreshold = 0.5
+	m.DriftWindows = 3
+	// Let the first search complete on the normal surface.
+	d := drive(m, surf, 80, nil)
+	if m.Phase() != "stable" {
+		t.Fatalf("phase %s", m.Phase())
+	}
+	if m.Drifts() != 0 {
+		t.Fatal("spurious drift during steady state")
+	}
+	// The interference pattern changes drastically: the measured metric
+	// collapses. PBS should notice and re-search.
+	collapsed := func(tlps []int) []float64 {
+		ebs := surf(tlps)
+		return []float64{ebs[0] * 0.1, ebs[1] * 0.1}
+	}
+	d = m.Initial(2) // fresh run to keep the harness simple
+	m.DriftThreshold = 0.5
+	m.DriftWindows = 3
+	d = drive(m, surf, 80, nil)
+	for w := 0; w < 10; w++ {
+		ebs := collapsed(clamped(d.TLP))
+		d = m.OnSample(tlp.Sample{Apps: []tlp.AppSample{
+			{App: 0, TLP: d.TLP[0], EB: ebs[0]},
+			{App: 1, TLP: d.TLP[1], EB: ebs[1]},
+		}})
+	}
+	if m.Drifts() != 1 {
+		t.Fatalf("drifts = %d, want 1", m.Drifts())
+	}
+	if m.Phase() == "stable" {
+		t.Fatal("drift did not restart the search")
+	}
+}
+
+func TestPBSNoDriftByDefault(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjWS)
+	d := drive(m, surf, 80, nil)
+	// Feed collapsed samples: without DriftThreshold the combination must
+	// hold (paper behaviour: restart only on kernel relaunch).
+	for w := 0; w < 10; w++ {
+		d = m.OnSample(tlp.Sample{Apps: []tlp.AppSample{
+			{App: 0, TLP: d.TLP[0], EB: 0.001},
+			{App: 1, TLP: d.TLP[1], EB: 0.001},
+		}})
+	}
+	if m.Phase() != "stable" || m.Drifts() != 0 {
+		t.Fatal("default PBS re-searched without a relaunch")
+	}
+}
+
+func TestPBSSamplingTableBounded(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjWS)
+	drive(m, surf, 200, map[int]bool{60: true, 120: true, 180: true})
+	if n := len(m.Table()); n > 16 {
+		t.Fatalf("sampling table grew to %d entries (hardware holds 16)", n)
+	}
+	if len(m.Table()) == 0 {
+		t.Fatal("sampling table empty")
+	}
+}
+
+func TestPBSFISampledScaling(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjFI)
+	if m.Scaling != SampledScale {
+		t.Fatal("PBS-FI should default to sampled scaling")
+	}
+	d := drive(m, surf, 100, nil)
+	if m.Phase() != "stable" {
+		t.Fatalf("phase %s", m.Phase())
+	}
+	// The final combo should be substantially fairer than ++maxTLP.
+	fiOf := func(tlps []int) float64 {
+		ebs := surf(tlps)
+		return metrics.EBFI(ebs, nil)
+	}
+	if fiOf(clamped(d.TLP)) < fiOf([]int{24, 24}) {
+		t.Fatalf("PBS-FI combo %v less balanced than ++maxTLP", d.TLP)
+	}
+}
+
+func TestPBSFIGroupScaling(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjFI)
+	m.Scaling = GroupScale
+	m.GroupValues = []float64{1.0, 0.8}
+	d := drive(m, surf, 100, nil)
+	if m.Phase() != "stable" {
+		t.Fatalf("phase %s", m.Phase())
+	}
+	_ = d
+}
+
+func TestPBSHSStabilizes(t *testing.T) {
+	surf := patterned(t)
+	m := NewPBS(metrics.ObjHS)
+	d := drive(m, surf, 120, nil)
+	if m.Phase() != "stable" {
+		t.Fatalf("phase %s", m.Phase())
+	}
+	got := metrics.EBHS(surf(clamped(d.TLP)), m.Table()[0].EB) // any positive scale
+	if got <= 0 {
+		t.Fatal("degenerate HS outcome")
+	}
+}
+
+func TestPBSNames(t *testing.T) {
+	if NewPBS(metrics.ObjWS).Name() != "PBS-WS" {
+		t.Error("WS name")
+	}
+	if NewPBS(metrics.ObjFI).Name() != "PBS-FI(sampled)" {
+		t.Errorf("FI name = %s", NewPBS(metrics.ObjFI).Name())
+	}
+}
+
+func TestDropAndArgmax(t *testing.T) {
+	drop, am := dropAndArgmax([]float64{0.2, 0.8, 1.0, 0.3, 0.25})
+	if am != 2 {
+		t.Fatalf("argmax = %d", am)
+	}
+	if drop < 0.74 || drop > 0.76 {
+		t.Fatalf("drop = %v", drop)
+	}
+	// Monotone rising curve: no drop.
+	drop, am = dropAndArgmax([]float64{0.1, 0.2, 0.3})
+	if drop != 0 || am != 2 {
+		t.Fatalf("rising curve: drop=%v argmax=%d", drop, am)
+	}
+	if d, a := dropAndArgmax(nil); d != 0 || a != 0 {
+		t.Fatal("empty curve")
+	}
+}
+
+func TestCapByCollapse(t *testing.T) {
+	levels := []int{1, 2, 4, 8, 16, 24}
+	// Collapse at the tail: cap excludes 16, 24.
+	cap1 := capByCollapse([]float64{0.5, 0.9, 1.0, 0.8, 0.3, 0.2}, levels)
+	if cap1 != 8 {
+		t.Fatalf("cap = %d, want 8", cap1)
+	}
+	// Flat curve: no cap.
+	if c := capByCollapse([]float64{0.5, 0.52, 0.48, 0.5, 0.51, 0.49}, levels); c != 24 {
+		t.Fatalf("flat curve capped at %d", c)
+	}
+	// Rising curve: no cap.
+	if c := capByCollapse([]float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}, levels); c != 24 {
+		t.Fatalf("rising curve capped at %d", c)
+	}
+	if c := capByCollapse(nil, levels); c != 24 {
+		t.Fatal("empty curve")
+	}
+}
+
+func TestChooseByDiffPrefersCrossing(t *testing.T) {
+	// A sign crossing between indices 2 and 3; index 3 has the smaller
+	// magnitude.
+	diffs := []float64{-0.9, -0.5, -0.2, 0.1, 0.6}
+	sums := []float64{1, 1, 1, 1, 1}
+	if got := chooseByDiff(diffs, sums); got != 3 {
+		t.Fatalf("chose %d, want 3", got)
+	}
+	// No crossing: smallest |diff| among healthy entries. Index 0 has the
+	// smallest diff but is starved; index 2 is the healthy minimum.
+	diffs = []float64{0.01, 0.5, 0.2, 0.4}
+	sums = []float64{0.05, 1.0, 0.9, 1.0}
+	if got := chooseByDiff(diffs, sums); got != 2 {
+		t.Fatalf("chose %d, want 2 (healthy minimum)", got)
+	}
+	// Everything unhealthy: global argmin.
+	diffs = []float64{0.3, 0.1, 0.2}
+	sums = []float64{0, 0, 0}
+	if got := chooseByDiff(diffs, sums); got != 1 {
+		t.Fatalf("degenerate chose %d, want 1", got)
+	}
+}
+
+func TestCurveRange(t *testing.T) {
+	if r := curveRange([]float64{-0.5, 0.2, 0.1}); r != 0.7 {
+		t.Fatalf("range = %v", r)
+	}
+	if curveRange(nil) != 0 {
+		t.Fatal("empty range")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel(2, 16, 8)
+	if c.PerCoreRegisterBits != 64 {
+		t.Errorf("per-core bits = %d", c.PerCoreRegisterBits)
+	}
+	if c.PerPartitionRegisterBits != 2*(3*32+50) {
+		t.Errorf("per-partition bits = %d", c.PerPartitionRegisterBits)
+	}
+	if c.TableEntries != 16 {
+		t.Errorf("table entries = %d", c.TableEntries)
+	}
+	if c.TotalStorageBits <= 0 || c.String() == "" {
+		t.Error("degenerate cost model")
+	}
+}

@@ -1,0 +1,433 @@
+// Package dram models one GPU memory partition: the L2 cache slice, its
+// MSHRs, and the GDDR5 memory controller behind it (Table I).
+//
+// The controller implements FR-FCFS scheduling (first-ready row hits ahead
+// of older row misses) over a per-partition request queue, with per-bank
+// row-buffer state and the Hynix GDDR5 timing constraints tCL, tRP, tRAS,
+// tRCD, tRRD, tCCD, and tWR. The data bus serializes line transfers at BL
+// memory cycles per line, which sets the attainable bandwidth ceiling the
+// paper's BW metric is normalized against.
+//
+// All partition logic runs on the memory clock; the simulator converts to
+// and from core cycles at the boundary.
+package dram
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ebm/internal/cache"
+	"ebm/internal/config"
+	"ebm/internal/mem"
+	"ebm/internal/stats"
+)
+
+// bank holds per-DRAM-bank row-buffer and timing state, in memory cycles.
+type bank struct {
+	openRow   int64  // -1 when closed
+	actAt     uint64 // time of the last activate (tRAS reference)
+	colReady  uint64 // earliest next column command on this bank
+	lastColAt uint64 // last column command (tWR reference)
+	preDone   uint64 // precharge completion time when closing
+}
+
+type eventKind uint8
+
+const (
+	evL2Hit eventKind = iota
+	evDRAMRead
+)
+
+type event struct {
+	at   uint64
+	kind eventKind
+	req  *mem.Request
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Stats aggregates the partition-side per-application telemetry the
+// paper's designated-partition sampling reads (Fig. 8 items 4–6).
+type Stats struct {
+	BWBytes    stats.Counter // data-bus bytes transferred (reads+writes)
+	RowHits    stats.Counter
+	RowMisses  stats.Counter // activates (closed or conflict)
+	DRAMReads  stats.Counter
+	DRAMWrites stats.Counter
+	LatencySum stats.Counter // read latency in mem cycles, summed
+}
+
+// Partition is one memory controller plus its L2 slice.
+type Partition struct {
+	ID  int
+	cfg *config.GPU
+
+	L2 *cache.Cache
+
+	inq      []*mem.Request // bounded input queue fed by the interconnect
+	inqCap   int
+	mshr     map[uint64][]*mem.Request // line -> read waiters in DRAM
+	mshrMax  int
+	dramQ    []*mem.Request // FR-FCFS queue
+	dramQCap int
+
+	banks     []bank
+	busFreeAt uint64
+	lastActAt uint64
+	lastColAt uint64
+
+	events eventHeap
+
+	resp []*mem.Request // completed responses awaiting the return network
+
+	l2LatMem uint64 // L2 hit latency converted to memory cycles
+
+	// Per-app telemetry.
+	Apps []Stats
+
+	// Refreshes counts all-bank refresh operations (zero unless the
+	// timing's TREFI is configured).
+	Refreshes   stats.Counter
+	nextRefresh uint64
+
+	// derived address mapping
+	interleave uint64
+	nparts     uint64
+	rowBytes   uint64
+	nbanks     uint64
+}
+
+// NewPartition builds partition id of the machine described by cfg with
+// per-app statistics for numApps applications.
+func NewPartition(id int, cfg *config.GPU, numApps int) *Partition {
+	l2LatMem := uint64(float64(cfg.L2HitLatency) * cfg.MemCyclesPerCoreCycle())
+	if l2LatMem == 0 {
+		l2LatMem = 1
+	}
+	p := &Partition{
+		ID:         id,
+		cfg:        cfg,
+		L2:         cache.New(cfg.L2, numApps),
+		inqCap:     32,
+		mshr:       make(map[uint64][]*mem.Request),
+		mshrMax:    64,
+		dramQCap:   64,
+		banks:      make([]bank, cfg.BanksPerMC),
+		l2LatMem:   l2LatMem,
+		Apps:       make([]Stats, numApps),
+		interleave: uint64(cfg.AddrInterleave),
+		nparts:     uint64(cfg.NumMemPartitions),
+		rowBytes:   uint64(cfg.RowBytes),
+		nbanks:     uint64(cfg.BanksPerMC),
+	}
+	for i := range p.banks {
+		p.banks[i].openRow = -1
+	}
+	return p
+}
+
+// CanAccept reports whether the input queue has room for another request;
+// the simulator uses it for interconnect back-pressure.
+func (p *Partition) CanAccept() bool { return len(p.inq) < p.inqCap }
+
+// Enqueue places a request arriving from the interconnect into the input
+// queue at memory cycle now. The caller must have checked CanAccept.
+func (p *Partition) Enqueue(req *mem.Request, now uint64) {
+	if len(p.inq) >= p.inqCap {
+		panic("dram: Enqueue past capacity; caller must check CanAccept")
+	}
+	req.MemBorn = now
+	p.inq = append(p.inq, req)
+}
+
+// PopResponse removes one completed read reply, or returns nil.
+func (p *Partition) PopResponse() *mem.Request {
+	if len(p.resp) == 0 {
+		return nil
+	}
+	r := p.resp[0]
+	copy(p.resp, p.resp[1:])
+	p.resp = p.resp[:len(p.resp)-1]
+	return r
+}
+
+// PendingResponses returns the number of replies awaiting the return path.
+func (p *Partition) PendingResponses() int { return len(p.resp) }
+
+// localAddr converts a global line address to the partition-local byte
+// offset implied by the chunked interleave: global chunk i lives at local
+// chunk i/nparts. The L2 slice and the DRAM mapping both index with the
+// local address — indexing with the global address would leave 1/nparts
+// of the slice's sets usable, since the interleave bits are constant
+// within a partition.
+func (p *Partition) localAddr(addr uint64) uint64 {
+	chunk := addr / p.interleave
+	return (chunk/p.nparts)*p.interleave + addr%p.interleave
+}
+
+// globalAddr inverts localAddr for this partition.
+func (p *Partition) globalAddr(local uint64) uint64 {
+	chunk := local / p.interleave
+	return (chunk*p.nparts+uint64(p.ID))*p.interleave + local%p.interleave
+}
+
+// bankAndRow maps a global line address to (bank, row) using the
+// partition-local address: consecutive rows rotate across banks so
+// streaming accesses exercise bank-level parallelism.
+func (p *Partition) bankAndRow(addr uint64) (int, int64) {
+	local := p.localAddr(addr)
+	rowIdx := local / p.rowBytes
+	return int(rowIdx % p.nbanks), int64(rowIdx / p.nbanks)
+}
+
+// Tick advances the partition by one memory cycle.
+func (p *Partition) Tick(now uint64) {
+	p.maybeRefresh(now)
+	p.drainEvents(now)
+	p.acceptOne(now)
+	p.scheduleDRAM(now)
+}
+
+// maybeRefresh models all-bank refresh: every TREFI cycles the banks are
+// precharged and unavailable for TRFC cycles.
+func (p *Partition) maybeRefresh(now uint64) {
+	t := &p.cfg.Timing
+	if t.TREFI <= 0 || now < p.nextRefresh {
+		return
+	}
+	p.nextRefresh = now + uint64(t.TREFI)
+	p.Refreshes.Inc()
+	done := now + uint64(t.TRFC)
+	for i := range p.banks {
+		b := &p.banks[i]
+		b.openRow = -1 // refresh precharges all banks
+		if b.preDone < done {
+			b.preDone = done
+		}
+		if b.colReady < done {
+			b.colReady = done
+		}
+	}
+	if p.busFreeAt < done {
+		p.busFreeAt = done
+	}
+}
+
+// drainEvents retires every event due at or before now.
+func (p *Partition) drainEvents(now uint64) {
+	for len(p.events) > 0 && p.events[0].at <= now {
+		e := heap.Pop(&p.events).(event)
+		switch e.kind {
+		case evL2Hit:
+			e.req.Kind = mem.ReadReply
+			p.resp = append(p.resp, e.req)
+		case evDRAMRead:
+			line := e.req.LineAddr
+			app := e.req.App
+			ev := p.L2.Fill(p.localAddr(line), app)
+			if ev.Valid && ev.Dirty {
+				// Write back the dirty victim; charged to its owner. The
+				// queue may transiently exceed its cap here — write-backs
+				// are internally generated and cannot be back-pressured.
+				p.dramQ = append(p.dramQ, &mem.Request{
+					Kind: mem.WriteReq, LineAddr: p.globalAddr(ev.LineAddr), App: ev.App,
+				})
+			}
+			p.Apps[app].LatencySum.Add(now - e.req.MemBorn)
+			waiters := p.mshr[line]
+			delete(p.mshr, line)
+			for _, w := range waiters {
+				w.Kind = mem.ReadReply
+				p.resp = append(p.resp, w)
+			}
+		}
+	}
+}
+
+// acceptOne dequeues at most one input request per memory cycle and probes
+// the L2. This matches the single tag-array port of the slice.
+func (p *Partition) acceptOne(now uint64) {
+	if len(p.inq) == 0 {
+		return
+	}
+	req := p.inq[0]
+	app := req.App
+
+	if req.Kind == mem.WriteReq {
+		// Store traffic is write-through from the L1s but write-back at
+		// the L2: a hit marks the line dirty and is absorbed; a miss does
+		// not allocate and goes straight to DRAM.
+		if p.L2.WriteProbe(p.localAddr(req.LineAddr)) {
+			p.popInq()
+			return
+		}
+		if len(p.dramQ) >= p.dramQCap {
+			return // back-pressure: retry next cycle
+		}
+		p.dramQ = append(p.dramQ, req)
+		p.popInq()
+		return
+	}
+
+	// Read path: record the L2 access in the app's windowed stats.
+	if p.L2.Access(p.localAddr(req.LineAddr), app) {
+		heap.Push(&p.events, event{at: now + p.l2LatMem, kind: evL2Hit, req: req})
+		p.popInq()
+		return
+	}
+	// L2 miss: merge into an existing MSHR entry if one is in flight.
+	if waiters, ok := p.mshr[req.LineAddr]; ok {
+		p.mshr[req.LineAddr] = append(waiters, req)
+		p.popInq()
+		return
+	}
+	if len(p.mshr) >= p.mshrMax || len(p.dramQ) >= p.dramQCap {
+		// Structural stall; the head request retries next cycle and
+		// back-pressure propagates to the interconnect.
+		return
+	}
+	p.mshr[req.LineAddr] = []*mem.Request{req}
+	p.dramQ = append(p.dramQ, req)
+	p.popInq()
+}
+
+func (p *Partition) popInq() {
+	copy(p.inq, p.inq[1:])
+	p.inq[len(p.inq)-1] = nil
+	p.inq = p.inq[:len(p.inq)-1]
+}
+
+// scheduleDRAM issues at most one request to the DRAM per memory cycle
+// using FR-FCFS: the oldest request hitting an open row wins; if no queued
+// request hits an open row, the oldest request wins.
+func (p *Partition) scheduleDRAM(now uint64) {
+	if len(p.dramQ) == 0 {
+		return
+	}
+	// Allow scheduling to run ahead of the bus by enough to overlap bank
+	// preparation (precharge+activate+CAS) of the next requests with the
+	// current data bursts, as a pipelined controller does, while still
+	// bounding how stale the FR-FCFS decision can be.
+	t0 := &p.cfg.Timing
+	horizon := uint64(t0.TRP + t0.TRCD + t0.TCL + 2*t0.BL)
+	if p.busFreeAt > now+horizon {
+		return
+	}
+	t := &p.cfg.Timing
+
+	pick := -1
+	for i, r := range p.dramQ {
+		b, row := p.bankAndRow(r.LineAddr)
+		if p.banks[b].openRow == row {
+			pick = i
+			break
+		}
+	}
+	rowHit := pick >= 0
+	if pick < 0 {
+		pick = 0
+	}
+	req := p.dramQ[pick]
+	copy(p.dramQ[pick:], p.dramQ[pick+1:])
+	p.dramQ[len(p.dramQ)-1] = nil
+	p.dramQ = p.dramQ[:len(p.dramQ)-1]
+
+	bi, row := p.bankAndRow(req.LineAddr)
+	b := &p.banks[bi]
+	app := req.App
+
+	var colAt uint64
+	switch {
+	case rowHit:
+		colAt = maxU64(now, b.colReady, p.lastColAt+uint64(t.TCCD))
+		p.Apps[app].RowHits.Inc()
+	case b.openRow < 0:
+		actAt := maxU64(now, b.preDone, p.lastActAt+uint64(t.TRRD))
+		b.actAt = actAt
+		b.openRow = row
+		b.colReady = actAt + uint64(t.TRCD)
+		p.lastActAt = actAt
+		colAt = maxU64(b.colReady, p.lastColAt+uint64(t.TCCD))
+		p.Apps[app].RowMisses.Inc()
+	default: // row conflict: precharge, then activate
+		preAt := maxU64(now, b.actAt+uint64(t.TRAS), b.lastColAt+uint64(t.TWR))
+		actAt := maxU64(preAt+uint64(t.TRP), p.lastActAt+uint64(t.TRRD))
+		b.preDone = preAt + uint64(t.TRP)
+		b.actAt = actAt
+		b.openRow = row
+		b.colReady = actAt + uint64(t.TRCD)
+		p.lastActAt = actAt
+		colAt = maxU64(b.colReady, p.lastColAt+uint64(t.TCCD))
+		p.Apps[app].RowMisses.Inc()
+	}
+	// Serialize the data burst on the shared bus.
+	dataStart := maxU64(colAt+uint64(t.TCL), p.busFreeAt)
+	if over := dataStart - (colAt + uint64(t.TCL)); over > 0 {
+		colAt += over // the column command waits for the bus slot
+	}
+	dataEnd := dataStart + uint64(t.BL)
+	p.busFreeAt = dataEnd
+	b.lastColAt = colAt
+	b.colReady = colAt + uint64(t.TCCD)
+	p.lastColAt = colAt
+
+	p.Apps[app].BWBytes.Add(uint64(p.cfg.L2.LineBytes))
+	if req.Kind == mem.WriteReq {
+		p.Apps[app].DRAMWrites.Inc()
+		return // fire and forget
+	}
+	p.Apps[app].DRAMReads.Inc()
+	heap.Push(&p.events, event{at: dataEnd, kind: evDRAMRead, req: req})
+}
+
+// QueueDepth returns the current FR-FCFS queue occupancy (telemetry).
+func (p *Partition) QueueDepth() int { return len(p.dramQ) }
+
+// InputDepth returns the input-queue occupancy (telemetry).
+func (p *Partition) InputDepth() int { return len(p.inq) }
+
+// OutstandingMisses returns the number of distinct lines in flight to DRAM.
+func (p *Partition) OutstandingMisses() int { return len(p.mshr) }
+
+// NewWindow rolls every per-app counter (including the L2's) into a new
+// sampling window.
+func (p *Partition) NewWindow() {
+	p.L2.NewWindow()
+	for i := range p.Apps {
+		a := &p.Apps[i]
+		a.BWBytes.NewWindow()
+		a.RowHits.NewWindow()
+		a.RowMisses.NewWindow()
+		a.DRAMReads.NewWindow()
+		a.DRAMWrites.NewWindow()
+		a.LatencySum.NewWindow()
+	}
+}
+
+// String summarizes the partition state for diagnostics.
+func (p *Partition) String() string {
+	return fmt.Sprintf("partition %d: inq=%d dramQ=%d mshr=%d resp=%d",
+		p.ID, len(p.inq), len(p.dramQ), len(p.mshr), len(p.resp))
+}
+
+func maxU64(xs ...uint64) uint64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,419 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each experiment is a
+// function writing a text rendition of the paper's panel; cmd/paperfigs
+// dispatches them and bench_test.go wraps them in benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"ebm/internal/config"
+	pbscore "ebm/internal/core"
+	"ebm/internal/kernel"
+	"ebm/internal/metrics"
+	"ebm/internal/profile"
+	"ebm/internal/search"
+	"ebm/internal/sim"
+	"ebm/internal/tlp"
+	"ebm/internal/workload"
+)
+
+// Options configures an experiment environment.
+type Options struct {
+	Config config.GPU
+
+	// ProfileCache is an optional JSON path caching alone profiles.
+	ProfileCache string
+
+	// GridCycles/GridWarmup are the per-combination run lengths for the
+	// exhaustive searches.
+	GridCycles, GridWarmup uint64
+
+	// EvalCycles/EvalWarmup are the run lengths for the final scheme
+	// comparisons (long enough to amortize online search like the paper's
+	// full-application runs).
+	EvalCycles, EvalWarmup uint64
+
+	// WindowCycles is the sampling window for online managers.
+	WindowCycles uint64
+
+	// Workloads overrides the evaluation set (default: the 25 evaluated
+	// two-app workloads).
+	Workloads []workload.Workload
+
+	Parallelism int
+}
+
+func (o *Options) fillDefaults() {
+	if o.Config.NumCores == 0 {
+		o.Config = config.Default()
+	}
+	if o.GridCycles == 0 {
+		o.GridCycles = 120_000
+	}
+	if o.GridWarmup == 0 {
+		o.GridWarmup = 20_000
+	}
+	if o.EvalCycles == 0 {
+		o.EvalCycles = 600_000
+	}
+	if o.EvalWarmup == 0 {
+		o.EvalWarmup = 10_000
+	}
+	if o.WindowCycles == 0 {
+		o.WindowCycles = 2_500
+	}
+	if o.Workloads == nil {
+		o.Workloads = workload.Evaluated()
+	}
+}
+
+// Env carries the shared state: the machine, the alone profiles, and a
+// per-workload grid cache.
+type Env struct {
+	Opt   Options
+	Suite *profile.Suite
+
+	mu        sync.Mutex
+	grids     map[string]*search.Grid
+	evalCache map[string]*Eval
+}
+
+// NewEnv profiles the full application suite (or loads the cache) and
+// returns a ready environment.
+func NewEnv(opt Options) (*Env, error) {
+	opt.fillDefaults()
+	suite, err := profile.LoadOrProfile(opt.ProfileCache, kernel.All(), profile.Options{
+		Config:       opt.Config,
+		TotalCycles:  opt.GridCycles,
+		WarmupCycles: opt.GridWarmup,
+		Parallelism:  opt.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Opt: opt, Suite: suite, grids: map[string]*search.Grid{}}, nil
+}
+
+// Grid returns (building and caching on first use) the exhaustive
+// TLP-combination grid for a workload.
+func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
+	e.mu.Lock()
+	g, ok := e.grids[w.Name]
+	e.mu.Unlock()
+	if ok {
+		return g, nil
+	}
+	g, err := search.BuildGrid(w.Apps, search.GridOptions{
+		Config:       e.Opt.Config,
+		TotalCycles:  e.Opt.GridCycles,
+		WarmupCycles: e.Opt.GridWarmup,
+		Parallelism:  e.Opt.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.grids[w.Name] = g
+	e.mu.Unlock()
+	return g, nil
+}
+
+// RunStatic runs a workload at a fixed TLP combination for the evaluation
+// length.
+func (e *Env) RunStatic(w workload.Workload, tlps []int) (sim.Result, error) {
+	return e.run(w, tlp.NewStatic(fmt.Sprintf("static%v", tlps), tlps, nil), nil)
+}
+
+// RunManaged runs a workload under an online manager with the paper's
+// designated-sampling hardware.
+func (e *Env) RunManaged(w workload.Workload, m tlp.Manager) (sim.Result, error) {
+	return e.run(w, m, nil)
+}
+
+// RunTraced is RunManaged with a per-window observer.
+func (e *Env) RunTraced(w workload.Workload, m tlp.Manager, hook func(tlp.Sample)) (sim.Result, error) {
+	return e.run(w, m, hook)
+}
+
+func (e *Env) run(w workload.Workload, m tlp.Manager, hook func(tlp.Sample)) (sim.Result, error) {
+	s, err := sim.New(sim.Options{
+		Config:             e.Opt.Config,
+		Apps:               w.Apps,
+		Manager:            m,
+		TotalCycles:        e.Opt.EvalCycles,
+		WarmupCycles:       e.Opt.EvalWarmup,
+		WindowCycles:       e.Opt.WindowCycles,
+		DesignatedSampling: true,
+		OnWindow:           hook,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// Alone returns (aloneIPC, aloneEB, bestTLPs) for a workload's apps.
+func (e *Env) Alone(w workload.Workload) (ipc, eb []float64, best []int, err error) {
+	names := w.Names()
+	if ipc, err = e.Suite.AloneIPC(names); err != nil {
+		return
+	}
+	if eb, err = e.Suite.AloneEB(names); err != nil {
+		return
+	}
+	best, err = e.Suite.BestTLPs(names)
+	return
+}
+
+// SD converts a result into the slowdown vector against alone IPCs.
+func SD(r sim.Result, aloneIPC []float64) []float64 {
+	sd, err := metrics.Slowdowns(r.IPCs(), aloneIPC)
+	if err != nil {
+		panic(err) // alone IPCs are always positive by construction
+	}
+	return sd
+}
+
+// Outcome is one scheme's measured behaviour on one workload.
+type Outcome struct {
+	Scheme string
+	Combo  []int // nil for dynamic schemes
+	WS     float64
+	FI     float64
+	HS     float64
+	IT     float64
+	Result sim.Result
+}
+
+// Eval holds every scheme outcome for one workload (the unit behind
+// Figs. 9, 10, and the HS panel).
+type Eval struct {
+	Workload workload.Workload
+	AloneIPC []float64
+	AloneEB  []float64
+	BestTLPs []int
+	Outcomes map[string]Outcome
+}
+
+// Scheme names used across the evaluation figures.
+const (
+	SchBestTLP   = "++bestTLP"
+	SchMaxTLP    = "++maxTLP"
+	SchDynCTA    = "++DynCTA"
+	SchModBypass = "Mod+Bypass"
+	SchPBSWS     = "PBS-WS"
+	SchPBSFI     = "PBS-FI"
+	SchPBSHS     = "PBS-HS"
+	SchPBSWSOff  = "PBS-WS(Offline)"
+	SchPBSFIOff  = "PBS-FI(Offline)"
+	SchPBSHSOff  = "PBS-HS(Offline)"
+	SchBFWS      = "BF-WS"
+	SchBFFI      = "BF-FI"
+	SchBFHS      = "BF-HS"
+	SchOptWS     = "optWS"
+	SchOptFI     = "optFI"
+	SchOptHS     = "optHS"
+)
+
+// EvalWorkload measures every comparison scheme on one workload. Static
+// combinations discovered by the searches are re-run at evaluation length;
+// online schemes run with full overheads.
+func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
+	aloneIPC, aloneEB, bestTLPs, err := e.Alone(w)
+	if err != nil {
+		return nil, err
+	}
+	g, err := e.Grid(w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Static combos per scheme.
+	combos := map[string][]int{
+		SchBestTLP: bestTLPs,
+		SchMaxTLP:  maxCombo(len(w.Apps)),
+	}
+	pick := func(name string, eval search.Eval) {
+		c, _ := g.Best(eval)
+		combos[name] = c
+	}
+	pick(SchOptWS, search.SDEval(metrics.ObjWS, aloneIPC))
+	pick(SchOptFI, search.SDEval(metrics.ObjFI, aloneIPC))
+	pick(SchOptHS, search.SDEval(metrics.ObjHS, aloneIPC))
+	pick(SchBFWS, search.EBEval(metrics.ObjWS, nil))
+	pick(SchBFFI, search.EBEval(metrics.ObjFI, aloneEB))
+	pick(SchBFHS, search.EBEval(metrics.ObjHS, aloneEB))
+	if c, _ := g.PBSOffline(search.EBEval(metrics.ObjWS, nil), nil); c != nil {
+		combos[SchPBSWSOff] = c
+	}
+	if c, _ := g.PBSOfflineFI(aloneEB, nil); c != nil {
+		combos[SchPBSFIOff] = c
+	}
+	if c, _ := g.PBSOffline(search.EBEval(metrics.ObjHS, aloneEB), nil); c != nil {
+		combos[SchPBSHSOff] = c
+	}
+
+	ev := &Eval{
+		Workload: w,
+		AloneIPC: aloneIPC,
+		AloneEB:  aloneEB,
+		BestTLPs: bestTLPs,
+		Outcomes: map[string]Outcome{},
+	}
+
+	// Re-run each distinct static combo once at evaluation length.
+	type key string
+	comboKey := func(c []int) key { return key(fmt.Sprint(c)) }
+	staticResults := map[key]sim.Result{}
+	for _, c := range combos {
+		k := comboKey(c)
+		if _, ok := staticResults[k]; ok {
+			continue
+		}
+		r, err := e.RunStatic(w, c)
+		if err != nil {
+			return nil, err
+		}
+		staticResults[k] = r
+	}
+	for name, c := range combos {
+		ev.add(name, c, staticResults[comboKey(c)], aloneIPC)
+	}
+
+	// Online schemes.
+	online := []struct {
+		name string
+		mk   func() tlp.Manager
+	}{
+		{SchDynCTA, func() tlp.Manager { return tlp.NewDynCTA() }},
+		{SchModBypass, func() tlp.Manager { return tlp.NewModBypass() }},
+		{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
+		{SchPBSFI, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjFI) }},
+		{SchPBSHS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjHS) }},
+	}
+	for _, o := range online {
+		r, err := e.RunManaged(w, o.mk())
+		if err != nil {
+			return nil, err
+		}
+		ev.add(o.name, nil, r, aloneIPC)
+	}
+	return ev, nil
+}
+
+func (ev *Eval) add(name string, combo []int, r sim.Result, aloneIPC []float64) {
+	sd := SD(r, aloneIPC)
+	ev.Outcomes[name] = Outcome{
+		Scheme: name,
+		Combo:  combo,
+		WS:     metrics.WS(sd),
+		FI:     metrics.FI(sd),
+		HS:     metrics.HS(sd),
+		IT:     metrics.IT(r.IPCs()),
+		Result: r,
+	}
+}
+
+func maxCombo(n int) []int {
+	c := make([]int, n)
+	for i := range c {
+		c[i] = config.MaxTLP
+	}
+	return c
+}
+
+// Experiment is a runnable paper panel.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(e *Env, w io.Writer) error
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: simulated GPU configuration", Table1},
+		{"table2", "Table II: evaluated TLP configurations", Table2},
+		{"table3", "Table III: evaluated metrics (algebraic check)", Table3},
+		{"table4", "Table IV: application characteristics", Table4},
+		{"fig1", "Fig. 1: WS and FI for BFS_FFT under bestTLP/maxTLP/opt", Fig1},
+		{"fig2", "Fig. 2: effect of TLP on IPC/BW/CMR/EB for BFS", Fig2},
+		{"fig3", "Fig. 3: effective bandwidth across the hierarchy", Fig3},
+		{"fig4", "Fig. 4: per-app SD and EB, bestTLP vs opt", Fig4},
+		{"fig5", "Fig. 5: IPC alone-ratio vs EB alone-ratio", Fig5},
+		{"fig6", "Fig. 6: EB-WS patterns for BLK_TRD", Fig6},
+		{"fig7", "Fig. 7: PBS-FI and PBS-HS walkthrough on BLK_TRD", Fig7},
+		{"fig8", "Fig. 8: hardware organization overheads", Fig8},
+		{"fig9", "Fig. 9: weighted speedup of all schemes", Fig9},
+		{"fig10", "Fig. 10: fairness of all schemes", Fig10},
+		{"fig11", "Fig. 11: TLP over time for BLK_BFS under PBS", Fig11},
+		{"fig12", "HS panel (reconstructed): harmonic speedup of all schemes", Fig12},
+		{"cores", "Sensitivity: core partitioning (reconstructed)", SensCores},
+		{"l2part", "Sensitivity: L2 way partitioning (reconstructed)", SensL2},
+		{"3app", "Scalability: three-application workloads (reconstructed)", ThreeApp},
+		{"ablation", "Ablations: objective, search, window, scaling, sampling", Ablations},
+		{"extras", "Extensions: CCWS baseline, kernel phases + drift, DRAM refresh", Extras},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, x := range Registry() {
+		if x.ID == id {
+			return x, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// gmean over a slice (0 on empty/non-positive).
+func gmean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		prod *= x
+	}
+	// Repeated multiplication is fine at these magnitudes (25 values
+	// near 1.0).
+	return pow(prod, 1/float64(len(xs)))
+}
+
+func pow(x, p float64) float64 {
+	// Thin wrapper to keep math import localized.
+	return mathPow(x, p)
+}
+
+// sortedSchemes returns outcome names in a stable presentation order.
+func sortedSchemes(m map[string]Outcome) []string {
+	order := []string{
+		SchBestTLP, SchMaxTLP, SchDynCTA, SchModBypass,
+		SchPBSWS, SchPBSWSOff, SchBFWS, SchOptWS,
+		SchPBSFI, SchPBSFIOff, SchBFFI, SchOptFI,
+		SchPBSHS, SchPBSHSOff, SchBFHS, SchOptHS,
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range order {
+		if _, ok := m[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range m {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}

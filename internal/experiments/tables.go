@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/metrics"
+)
+
+// Table1 prints the simulated machine description (the paper's Table I).
+func Table1(e *Env, w io.Writer) error {
+	header(w, "Table I: key configuration parameters of the simulated GPU")
+	c := e.Opt.Config
+	t := newTable("parameter", "value")
+	t.row("cores", fmt.Sprint(c.NumCores))
+	t.row("SIMT width", fmt.Sprint(c.SIMTWidth))
+	t.row("warps/core", fmt.Sprint(c.MaxWarpsPerCore))
+	t.row("warp schedulers/core", fmt.Sprint(c.SchedulersPerCore))
+	t.row("max TLP per scheduler", fmt.Sprint(c.MaxTLPPerScheduler()))
+	t.row("core clock", fmt.Sprintf("%d MHz", c.CoreClockMHz))
+	t.row("interconnect clock", fmt.Sprintf("%d MHz", c.IcntClockMHz))
+	t.row("memory clock", fmt.Sprintf("%d MHz", c.MemClockMHz))
+	t.row("L1 data cache / core", fmt.Sprintf("%d KB, %d-way, %d B lines",
+		c.L1.SizeBytes/1024, c.L1.Ways, c.L1.LineBytes))
+	t.row("L1 MSHRs / core", fmt.Sprint(c.L1MSHRs))
+	t.row("L2 cache", fmt.Sprintf("%d x %d KB slices, %d-way",
+		c.NumMemPartitions, c.L2.SizeBytes/1024, c.L2.Ways))
+	t.row("memory controllers", fmt.Sprintf("%d, FR-FCFS", c.NumMemPartitions))
+	t.row("DRAM banks / MC", fmt.Sprintf("%d (%d bank groups)", c.BanksPerMC, c.BankGroupsPerMC))
+	t.row("address interleave", fmt.Sprintf("%d B chunks", c.AddrInterleave))
+	t.row("DRAM row", fmt.Sprintf("%d B", c.RowBytes))
+	tm := c.Timing
+	t.row("GDDR5 timing", fmt.Sprintf("tCL=%d tRP=%d tRAS=%d tRCD=%d tRRD=%d tCCD=%d tWR=%d BL=%d",
+		tm.TCL, tm.TRP, tm.TRAS, tm.TRCD, tm.TRRD, tm.TCCD, tm.TWR, tm.BL))
+	t.row("peak DRAM bandwidth", fmt.Sprintf("%.1f GB/s",
+		c.PeakBandwidthBytesPerMemCycle()*float64(c.MemClockMHz)*1e6/1e9))
+	t.write(w)
+	return nil
+}
+
+// Table2 prints the evaluated TLP configurations (the paper's Table II).
+func Table2(e *Env, w io.Writer) error {
+	header(w, "Table II: evaluated TLP configurations")
+	t := newTable("acronym", "description")
+	t.row("maxTLP", fmt.Sprintf("single application at the maximum TLP (%d)", config.MaxTLP))
+	t.row("++maxTLP", "all co-scheduled applications at their maxTLP")
+	t.row("bestTLP", "single application at its best-performing TLP (profiled alone)")
+	t.row("++bestTLP", "all co-scheduled applications at their own bestTLP")
+	t.row("DynCTA", "single application under DynCTA modulation")
+	t.row("++DynCTA", "all co-scheduled applications under DynCTA")
+	t.row("optWS", "exhaustive search maximizing weighted speedup")
+	t.row("optFI", "exhaustive search maximizing the fairness index")
+	t.row("optHS", "exhaustive search maximizing harmonic weighted speedup")
+	t.write(w)
+	fmt.Fprintf(w, "\nTLP levels per application: %v (%d^2 = %d two-app combinations)\n",
+		config.TLPLevels, len(config.TLPLevels), len(config.TLPLevels)*len(config.TLPLevels))
+	return nil
+}
+
+// Table3 prints the metric definitions and verifies their algebra on a
+// worked example (the paper's Table III).
+func Table3(e *Env, w io.Writer) error {
+	header(w, "Table III: evaluated metrics")
+	t := newTable("acronym", "definition")
+	t.row("SD", "slowdown: IPC-shared / IPC-alone@bestTLP")
+	t.row("WS", "weighted speedup: SD-1 + SD-2")
+	t.row("FI", "fairness index: min(SD-1/SD-2, SD-2/SD-1)")
+	t.row("HS", "harmonic weighted speedup: n / (1/SD-1 + 1/SD-2)")
+	t.row("BW", "attained DRAM bandwidth / theoretical peak")
+	t.row("CMR", "combined miss rate: L1MR x L2MR")
+	t.row("EB", "effective bandwidth: BW / CMR")
+	t.row("EB-WS", "EB-1 + EB-2")
+	t.row("EB-FI", "min(EB-1/EB-2, EB-2/EB-1), optionally alone-EB scaled")
+	t.row("EB-HS", "n / (1/EB-1 + 1/EB-2)")
+	t.write(w)
+
+	// Worked example pinning the algebra.
+	sd := []float64{0.8, 0.5}
+	fmt.Fprintf(w, "\nworked example: SD=%v -> WS=%.3f FI=%.3f HS=%.3f\n",
+		sd, metrics.WS(sd), metrics.FI(sd), metrics.HS(sd))
+	fmt.Fprintf(w, "                BW=0.40 L1MR=0.50 L2MR=0.40 -> CMR=%.3f EB=%.3f\n",
+		metrics.CMR(0.5, 0.4), metrics.EB(0.4, metrics.CMR(0.5, 0.4)))
+	return nil
+}
+
+// Table4 prints the profiled application characteristics (the paper's
+// Table IV): IPC@bestTLP, EB@bestTLP, and the EB-quartile group.
+func Table4(e *Env, w io.Writer) error {
+	header(w, "Table IV: GPGPU application characteristics (measured)")
+	names := kernel.Names()
+	sort.Slice(names, func(i, j int) bool {
+		return e.Suite.Profiles[names[i]].BestEB < e.Suite.Profiles[names[j]].BestEB
+	})
+	t := newTable("app", "bestTLP", "IPC@bestTLP", "EB@bestTLP", "group")
+	for _, n := range names {
+		p := e.Suite.Profiles[n]
+		t.row(n, fmt.Sprint(p.BestTLP), fmt.Sprintf("%.2f", p.BestIPC),
+			fmt.Sprintf("%.3f", p.BestEB), fmt.Sprintf("G%d", p.Group))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\ngroup mean alone-EB (the user-supplied scaling factors): "+
+		"G1=%.3f G2=%.3f G3=%.3f G4=%.3f\n",
+		e.Suite.GroupMeanEB[0], e.Suite.GroupMeanEB[1], e.Suite.GroupMeanEB[2], e.Suite.GroupMeanEB[3])
+	return nil
+}

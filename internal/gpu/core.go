@@ -1,0 +1,421 @@
+// Package gpu models one GPU core (streaming multiprocessor / compute
+// unit): its warp contexts, two greedy-then-oldest (GTO) warp schedulers,
+// the static warp-limiting (SWL) TLP knob the paper's mechanisms actuate,
+// the per-core L1 data cache with MSHRs, and the memory-instruction
+// coalescing front end.
+package gpu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ebm/internal/cache"
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/mem"
+	"ebm/internal/stats"
+)
+
+// wheelSize bounds how far in the future a warp wake-up may be scheduled
+// (ALU latency or L1 hit latency); both are far below 64 cycles.
+const wheelSize = 64
+
+type warp struct {
+	stream       *kernel.WarpStream
+	pendingFills int
+}
+
+// scheduler is one GTO warp scheduler owning a contiguous age-ordered block
+// of the core's warps. Bit w of the masks refers to its w-th warp (0 is
+// oldest).
+type scheduler struct {
+	base       int // core-local index of warp 0
+	count      int
+	readyMask  uint64
+	memWait    uint64 // warps with outstanding fills
+	lastIssued int    // scheduler-local index, -1 if none
+}
+
+func (s *scheduler) activeMask(tlp int) uint64 {
+	if tlp >= s.count {
+		return (uint64(1) << s.count) - 1
+	}
+	return (uint64(1) << tlp) - 1
+}
+
+// CoreStats is the per-core telemetry read by the sampling hardware and
+// the TLP managers.
+type CoreStats struct {
+	InstRetired  stats.Counter // warp instructions issued/retired
+	MemInsts     stats.Counter
+	IssuedSlots  stats.Counter // issue slots used (<= 2 per cycle)
+	ActiveCycles stats.Counter // cycles with at least one issue
+	IdleCycles   stats.Counter // cycles with no ready active warp at all
+	MemStall     stats.Counter // idle cycles where an active warp waited on memory
+	StallMSHR    stats.Counter // issue aborts due to full MSHRs/inject queue
+}
+
+// NewWindow rolls every counter into a new sampling window.
+func (cs *CoreStats) NewWindow() {
+	cs.InstRetired.NewWindow()
+	cs.MemInsts.NewWindow()
+	cs.IssuedSlots.NewWindow()
+	cs.ActiveCycles.NewWindow()
+	cs.IdleCycles.NewWindow()
+	cs.MemStall.NewWindow()
+	cs.StallMSHR.NewWindow()
+}
+
+// Core is one streaming multiprocessor running warps of a single
+// application (the paper maps each application to an exclusive core set).
+type Core struct {
+	ID  int
+	App int
+
+	cfg *config.GPU
+	L1  *cache.Cache
+
+	warps  []warp
+	scheds []scheduler
+	tlp    int // active warps per scheduler
+
+	mshr      map[uint64][]int // line -> core-local warp waiters
+	mshrMax   int
+	outq      []*mem.Request
+	outqCap   int
+	wheel     [wheelSize][]int32 // wake lists; entry = core-local warp index
+	wheelBusy int                // total queued wakeups (fast empty check)
+
+	bypassL1 bool
+
+	Stats CoreStats
+
+	// missBuf is scratch for the two-pass memory issue.
+	missBuf []uint64
+}
+
+// NewCore builds core id running app's kernel with the given warp streams
+// (len must equal cfg.MaxWarpsPerCore). numApps sizes the L1's per-app
+// stat vectors (only this app's slot is used, but keeping the shape
+// uniform simplifies the samplers).
+func NewCore(id, app int, cfg *config.GPU, streams []*kernel.WarpStream, numApps int) *Core {
+	if len(streams) != cfg.MaxWarpsPerCore {
+		panic(fmt.Sprintf("gpu: core %d got %d streams, want %d", id, len(streams), cfg.MaxWarpsPerCore))
+	}
+	c := &Core{
+		ID:      id,
+		App:     app,
+		cfg:     cfg,
+		L1:      cache.New(cfg.L1, numApps),
+		warps:   make([]warp, len(streams)),
+		mshr:    make(map[uint64][]int),
+		mshrMax: cfg.L1MSHRs,
+		outqCap: 16,
+		tlp:     cfg.MaxTLPPerScheduler(),
+	}
+	for i, s := range streams {
+		c.warps[i].stream = s
+	}
+	per := cfg.MaxWarpsPerCore / cfg.SchedulersPerCore
+	c.scheds = make([]scheduler, cfg.SchedulersPerCore)
+	for i := range c.scheds {
+		c.scheds[i] = scheduler{
+			base:       i * per,
+			count:      per,
+			readyMask:  (uint64(1) << per) - 1,
+			lastIssued: -1,
+		}
+	}
+	return c
+}
+
+// SetTLP sets the active-warp limit per scheduler (the SWL knob). Values
+// are clamped to [1, warps-per-scheduler].
+func (c *Core) SetTLP(tlp int) {
+	maxTLP := c.cfg.MaxTLPPerScheduler()
+	if tlp < 1 {
+		tlp = 1
+	}
+	if tlp > maxTLP {
+		tlp = maxTLP
+	}
+	c.tlp = tlp
+}
+
+// TLP returns the current active-warp limit per scheduler.
+func (c *Core) TLP() int { return c.tlp }
+
+// SetBypassL1 enables or disables L1 bypassing for this core (used by the
+// Mod+Bypass baseline).
+func (c *Core) SetBypassL1(on bool) { c.bypassL1 = on }
+
+// BypassL1 reports whether the L1 is being bypassed.
+func (c *Core) BypassL1() bool { return c.bypassL1 }
+
+// CanInject reports whether the out-queue has room for n more requests.
+func (c *Core) CanInject(n int) bool { return len(c.outq)+n <= c.outqCap }
+
+// PopRequest removes the next request destined for the interconnect.
+func (c *Core) PopRequest() *mem.Request {
+	if len(c.outq) == 0 {
+		return nil
+	}
+	r := c.outq[0]
+	copy(c.outq, c.outq[1:])
+	c.outq[len(c.outq)-1] = nil
+	c.outq = c.outq[:len(c.outq)-1]
+	return r
+}
+
+// PendingRequests returns the out-queue depth.
+func (c *Core) PendingRequests() int { return len(c.outq) }
+
+// RequeueFront restores a popped request to the head of the out-queue
+// (the simulator's one-entry skid buffer for network back-pressure).
+func (c *Core) RequeueFront(r *mem.Request) {
+	c.outq = append(c.outq, nil)
+	copy(c.outq[1:], c.outq)
+	c.outq[0] = r
+}
+
+// OutstandingMisses returns the number of distinct lines in flight.
+func (c *Core) OutstandingMisses() int { return len(c.mshr) }
+
+// schedulerOf returns the scheduler owning core-local warp w and w's
+// scheduler-local index.
+func (c *Core) schedulerOf(w int) (*scheduler, int) {
+	per := c.scheds[0].count
+	si := w / per
+	return &c.scheds[si], w - c.scheds[si].base
+}
+
+// wake marks warp w ready.
+func (c *Core) wake(w int) {
+	s, li := c.schedulerOf(w)
+	s.readyMask |= uint64(1) << li
+}
+
+// sleep marks warp w not ready.
+func (c *Core) sleep(w int) {
+	s, li := c.schedulerOf(w)
+	s.readyMask &^= uint64(1) << li
+}
+
+// scheduleWake arranges for warp w to become ready after delay cycles.
+func (c *Core) scheduleWake(w int, now uint64, delay int) {
+	if delay <= 0 {
+		delay = 1
+	}
+	if delay >= wheelSize {
+		delay = wheelSize - 1
+	}
+	slot := (now + uint64(delay)) % wheelSize
+	c.wheel[slot] = append(c.wheel[slot], int32(w))
+	c.wheelBusy++
+}
+
+// HandleFill delivers a returned line: it fills the L1 (unless bypassing)
+// and wakes every warp that was waiting on it.
+func (c *Core) HandleFill(lineAddr uint64) {
+	if !c.bypassL1 {
+		c.L1.Fill(lineAddr, c.App)
+	}
+	waiters, ok := c.mshr[lineAddr]
+	if !ok {
+		return
+	}
+	delete(c.mshr, lineAddr)
+	for _, w := range waiters {
+		wp := &c.warps[w]
+		wp.pendingFills--
+		if wp.pendingFills <= 0 {
+			wp.pendingFills = 0
+			c.wake(w)
+			s, li := c.schedulerOf(w)
+			s.memWait &^= uint64(1) << li
+		}
+	}
+}
+
+// Tick advances the core by one cycle: wake-ups, then one issue attempt
+// per scheduler.
+func (c *Core) Tick(now uint64) {
+	if c.wheelBusy > 0 {
+		slot := now % wheelSize
+		if list := c.wheel[slot]; len(list) > 0 {
+			for _, w := range list {
+				c.wake(int(w))
+			}
+			c.wheelBusy -= len(list)
+			c.wheel[slot] = list[:0]
+		}
+	}
+
+	issued := 0
+	anyActiveMemWait := false
+	for si := range c.scheds {
+		s := &c.scheds[si]
+		act := s.activeMask(c.tlp)
+		if s.memWait&act != 0 {
+			anyActiveMemWait = true
+		}
+		ready := s.readyMask & act
+		if ready == 0 {
+			continue
+		}
+		var pick int
+		if s.lastIssued >= 0 && ready&(uint64(1)<<s.lastIssued) != 0 {
+			pick = s.lastIssued // greedy: stick with the current warp
+		} else {
+			pick = bits.TrailingZeros64(ready) // then oldest
+		}
+		if c.issue(s, pick, now) {
+			s.lastIssued = pick
+			issued++
+		}
+	}
+
+	if issued > 0 {
+		c.Stats.IssuedSlots.Add(uint64(issued))
+		c.Stats.ActiveCycles.Inc()
+	} else {
+		c.Stats.IdleCycles.Inc()
+		if anyActiveMemWait {
+			c.Stats.MemStall.Inc()
+		}
+	}
+}
+
+// issue tries to issue the current instruction of the scheduler's warp at
+// local index li; it returns false on a structural stall (the warp stays
+// ready and will retry).
+func (c *Core) issue(s *scheduler, li int, now uint64) bool {
+	w := s.base + li
+	wp := &c.warps[w]
+	inst := wp.stream.Current()
+
+	if !inst.IsMem {
+		wp.stream.Advance()
+		c.Stats.InstRetired.Inc()
+		delay := c.alu()
+		if delay > 1 {
+			c.sleep(w)
+			c.scheduleWake(w, now, delay)
+		}
+		return true
+	}
+
+	if inst.Write {
+		// Stores are write-through and fire-and-forget: they need out-queue
+		// space but do not block the warp on completion.
+		if !c.CanInject(len(inst.Lines)) {
+			c.Stats.StallMSHR.Inc()
+			return false
+		}
+		for _, line := range inst.Lines {
+			c.outq = append(c.outq, &mem.Request{
+				Kind: mem.WriteReq, LineAddr: line, App: c.App, Core: c.ID, Born: now,
+			})
+		}
+		wp.stream.Advance()
+		c.Stats.InstRetired.Inc()
+		c.Stats.MemInsts.Inc()
+		return true
+	}
+
+	// Load: classify each line (two passes so a structural stall leaves
+	// no side effects and the warp can retry the identical instruction).
+	c.missBuf = c.missBuf[:0]
+	newLines := 0
+	for _, line := range inst.Lines {
+		if !c.bypassL1 && c.L1.Contains(line) {
+			continue
+		}
+		c.missBuf = append(c.missBuf, line)
+		if _, merged := c.mshr[line]; !merged && !containsLine(c.missBuf[:len(c.missBuf)-1], line) {
+			newLines++
+		}
+	}
+	if newLines > 0 {
+		if len(c.mshr)+newLines > c.mshrMax || !c.CanInject(newLines) {
+			c.Stats.StallMSHR.Inc()
+			return false
+		}
+	}
+
+	// Commit: record L1 stats, allocate MSHRs, send requests.
+	fills := 0
+	for _, line := range inst.Lines {
+		var hit bool
+		if c.bypassL1 {
+			hit = false
+			c.L1.Stats[c.App].Record(true)
+		} else {
+			hit = c.L1.Access(line, c.App)
+		}
+		if hit {
+			continue
+		}
+		if waiters, ok := c.mshr[line]; ok {
+			if !intsContain(waiters, w) {
+				c.mshr[line] = append(waiters, w)
+				fills++
+			} else {
+				// The same warp already waits on this line (duplicate line
+				// in a divergent access); one fill wakes it once.
+			}
+			continue
+		}
+		c.mshr[line] = []int{w}
+		fills++
+		c.outq = append(c.outq, &mem.Request{
+			Kind: mem.ReadReq, LineAddr: line, App: c.App, Core: c.ID, Born: now,
+		})
+	}
+
+	wp.stream.Advance()
+	c.Stats.InstRetired.Inc()
+	c.Stats.MemInsts.Inc()
+
+	if fills == 0 {
+		// All hits: the warp waits out the L1 hit latency.
+		c.sleep(w)
+		c.scheduleWake(w, now, c.cfg.L1HitLatency)
+		return true
+	}
+	wp.pendingFills += fills
+	c.sleep(w)
+	s.memWait |= uint64(1) << li
+	return true
+}
+
+// alu returns the issue-to-ready delay of a compute instruction for this
+// core's application.
+func (c *Core) alu() int {
+	// The ALU delay is a kernel parameter; all warps of a core share it.
+	return c.warps[0].stream.ALUDelay()
+}
+
+func containsLine(lines []uint64, line uint64) bool {
+	for _, l := range lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+func intsContain(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// NewWindow starts a new sampling window on the core and L1 counters.
+func (c *Core) NewWindow() {
+	c.Stats.NewWindow()
+	c.L1.NewWindow()
+}

@@ -1,0 +1,142 @@
+// Suite of the 26 GPGPU applications evaluated in the paper (Table IV),
+// drawn from Rodinia, Parboil, CUDA SDK, and SHOC. Each is modeled as a
+// synthetic kernel whose parameters are chosen to match the qualitative
+// behaviour the literature reports for that benchmark (streaming vs
+// cache-sensitive, coalesced vs divergent, compute- vs memory-bound) and
+// calibrated so the suite spans the paper's four effective-bandwidth
+// groups from low (G1) to high (G4). The resulting IPC@bestTLP and
+// EB@bestTLP are *measured* by the profiler (internal/profile), not
+// asserted here.
+
+package kernel
+
+import "sort"
+
+// seedOf derives a stable per-app seed from its position in the suite.
+func seedOf(i int) uint64 { return 0xA11CE<<16 ^ uint64(i+1)*0x1000193 }
+
+// suite lists the application models. Working sets are chosen against the
+// Table I cache hierarchy: a 16 KB 4-way L1 per core (128 lines of 128 B)
+// and eight 256 KB L2 slices (2 MB total). With two schedulers per core,
+// TLP t activates 2t warps per core, so a per-warp working set of W lines
+// starts thrashing the L1 near t = 64/W — that is what places each
+// application's EB inflection point.
+var suite = []Params{
+	// --- Streaming, cache-insensitive (EB == BW): the "bully" class. ---
+	{Name: "BLK", Rm: 0.20, ALUDelay: 2, CoalesceLines: 4, StepBytes: 512,
+		PrivateWS: 256 << 10, WriteFrac: 0.25, KernelInsts: 3 << 20},
+	{Name: "TRD", Rm: 0.40, ALUDelay: 1, CoalesceLines: 4, StepBytes: 512,
+		PrivateWS: 512 << 10, WriteFrac: 0.33, KernelInsts: 6 << 20},
+	{Name: "RED", Rm: 0.45, ALUDelay: 1, CoalesceLines: 4, StepBytes: 512,
+		PrivateWS: 512 << 10, WriteFrac: 0.05, KernelInsts: 2 << 20},
+	{Name: "SCP", Rm: 0.35, ALUDelay: 2, CoalesceLines: 2, StepBytes: 256,
+		PrivateWS: 256 << 10, WriteFrac: 0.15, KernelInsts: 2 << 20},
+	{Name: "SCAN", Rm: 0.40, ALUDelay: 2, CoalesceLines: 2, StepBytes: 256,
+		PrivateWS: 384 << 10, WriteFrac: 0.45, KernelInsts: 1 << 20},
+	{Name: "FWT", Rm: 0.30, ALUDelay: 2, CoalesceLines: 2, StepBytes: 256,
+		PrivateWS: 256 << 10, WriteFrac: 0.30, KernelInsts: 2 << 20},
+
+	// --- Streaming with spatial reuse (stencils): modest CMR, high BW. ---
+	{Name: "SRAD", Rm: 0.30, ALUDelay: 2, CoalesceLines: 1, StepBytes: 32,
+		PrivateWS: 64 << 10, WriteFrac: 0.20, KernelInsts: 2 << 20},
+	{Name: "LPS", Rm: 0.28, ALUDelay: 2, CoalesceLines: 1, StepBytes: 32,
+		PrivateWS: 32 << 10, SharedWS: 2 << 20, SharedFrac: 0.15, SharedSeq: true,
+		WriteFrac: 0.15, KernelInsts: 2 << 20},
+	{Name: "LUH", Rm: 0.33, ALUDelay: 2, CoalesceLines: 2, StepBytes: 64,
+		PrivateWS: 96 << 10, SharedWS: 2 << 20, SharedFrac: 0.10,
+		WriteFrac: 0.25, KernelInsts: 3 << 20},
+	{Name: "BP", Rm: 0.30, ALUDelay: 2, CoalesceLines: 1, StepBytes: 64,
+		PrivateWS: 64 << 10, SharedWS: 1 << 20, SharedFrac: 0.25, SharedSeq: true,
+		WriteFrac: 0.25, KernelInsts: 1 << 20},
+
+	// --- L1-sensitive with tight working sets: sharp EB inflections. ---
+	{Name: "BFS", Rm: 0.35, ALUDelay: 2, CoalesceLines: 6, StepBytes: 192,
+		PrivateWS: 2 << 10, PrivRandom: 0.45, SharedWS: 8 << 20, SharedFrac: 0.30,
+		WriteFrac: 0.10, KernelInsts: 384 << 10},
+	{Name: "FFT", Rm: 0.30, ALUDelay: 2, CoalesceLines: 2, StepBytes: 64,
+		PrivateWS: 4 << 10, PrivRandom: 0.10, SharedWS: 6 << 20, SharedFrac: 0.30,
+		SharedSeq: true, WriteFrac: 0.20, KernelInsts: 1 << 20},
+	{Name: "HS", Rm: 0.25, ALUDelay: 3, CoalesceLines: 1, StepBytes: 32,
+		PrivateWS: 1 << 10, PrivRandom: 0.05, SharedWS: 3 << 20, SharedFrac: 0.20,
+		SharedSeq: true, WriteFrac: 0.15, KernelInsts: 1 << 20},
+	{Name: "RAY", Rm: 0.22, ALUDelay: 3, CoalesceLines: 4, StepBytes: 96,
+		PrivateWS: 4 << 10, PrivRandom: 0.35, SharedWS: 3 << 20, SharedFrac: 0.20,
+		WriteFrac: 0.05, KernelInsts: 2 << 20},
+	{Name: "DS", Rm: 0.38, ALUDelay: 2, CoalesceLines: 3, StepBytes: 128,
+		PrivateWS: 3 << 10, PrivRandom: 0.30, SharedWS: 4 << 20, SharedFrac: 0.25,
+		WriteFrac: 0.20, KernelInsts: 1 << 20},
+	{Name: "JPEG", Rm: 0.25, ALUDelay: 1, CoalesceLines: 1, StepBytes: 16,
+		PrivateWS: 256 << 10, WriteFrac: 0.20, KernelInsts: 2 << 20},
+	{Name: "CONS", Rm: 0.28, ALUDelay: 1, CoalesceLines: 1, StepBytes: 16,
+		PrivateWS: 128 << 10, SharedWS: 8 << 10, SharedFrac: 0.20, WriteFrac: 0.15,
+		KernelInsts: 2 << 20},
+
+	// --- L2-sensitive: working sets that live in the shared L2. ---
+	{Name: "CFD", Rm: 0.35, ALUDelay: 2, CoalesceLines: 4, StepBytes: 256,
+		PrivateWS: 8 << 10, PrivRandom: 0.20, SharedWS: 1536 << 10, SharedFrac: 0.45,
+		WriteFrac: 0.20, KernelInsts: 3 << 20},
+	{Name: "SC", Rm: 0.40, ALUDelay: 2, CoalesceLines: 4, StepBytes: 128,
+		PrivateWS: 4 << 10, PrivRandom: 0.25, SharedWS: 1 << 20, SharedFrac: 0.50,
+		WriteFrac: 0.10, KernelInsts: 2 << 20},
+	{Name: "HISTO", Rm: 0.35, ALUDelay: 2, CoalesceLines: 4, StepBytes: 512,
+		PrivateWS: 128 << 10, SharedWS: 256 << 10, SharedFrac: 0.55,
+		WriteFrac: 0.40, KernelInsts: 1 << 20},
+	{Name: "QTC", Rm: 0.32, ALUDelay: 3, CoalesceLines: 5, StepBytes: 256,
+		PrivateWS: 16 << 10, PrivRandom: 0.40, SharedWS: 2560 << 10, SharedFrac: 0.35,
+		WriteFrac: 0.10, KernelInsts: 1 << 20},
+
+	// --- Compute-bound / low-intensity: small memory appetites. ---
+	{Name: "LIB", Rm: 0.08, ALUDelay: 1, CoalesceLines: 1, StepBytes: 128,
+		PrivateWS: 64 << 10, WriteFrac: 0.10, KernelInsts: 3 << 20},
+	{Name: "LUD", Rm: 0.15, ALUDelay: 6, CoalesceLines: 2, StepBytes: 64,
+		PrivateWS: 2 << 10, WriteFrac: 0.20, KernelInsts: 384 << 10},
+	{Name: "NW", Rm: 0.20, ALUDelay: 8, CoalesceLines: 2, StepBytes: 128,
+		PrivateWS: 4 << 10, PrivRandom: 0.15, WriteFrac: 0.25, KernelInsts: 512 << 10},
+	{Name: "SAD", Rm: 0.25, ALUDelay: 2, CoalesceLines: 1, StepBytes: 32,
+		PrivateWS: 8 << 10, WriteFrac: 0.10, KernelInsts: 2 << 20},
+
+	// --- Pathological: uncoalesced random updates over a huge region. ---
+	{Name: "GUPS", Rm: 0.50, ALUDelay: 1, CoalesceLines: 8, StepBytes: 1024,
+		PrivateWS: 4 << 20, PrivRandom: 1.0, WriteFrac: 0.50, KernelInsts: 1 << 20},
+}
+
+func init() {
+	for i := range suite {
+		suite[i].Seed = seedOf(i)
+		if err := suite[i].Validate(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Names returns the suite's application names in suite order.
+func Names() []string {
+	out := make([]string, len(suite))
+	for i := range suite {
+		out[i] = suite[i].Name
+	}
+	return out
+}
+
+// SortedNames returns the application names in lexical order.
+func SortedNames() []string {
+	out := Names()
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns a copy of the named application's parameters and whether
+// it exists.
+func ByName(name string) (Params, bool) {
+	for _, p := range suite {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}
+
+// All returns a copy of the full suite.
+func All() []Params {
+	return append([]Params(nil), suite...)
+}

@@ -1,0 +1,52 @@
+// Package mem defines the memory request/response messages exchanged
+// between the GPU cores, the interconnect, and the memory partitions.
+package mem
+
+import "fmt"
+
+// Kind distinguishes the message types carried by the interconnect.
+type Kind uint8
+
+const (
+	// ReadReq asks a memory partition for one cache line.
+	ReadReq Kind = iota
+	// WriteReq sends one dirty line to a memory partition (no response).
+	WriteReq
+	// ReadReply returns a filled line to the requesting core.
+	ReadReply
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case ReadReq:
+		return "read"
+	case WriteReq:
+		return "write"
+	case ReadReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is one line-granular memory transaction. The same struct is used
+// on both directions of the interconnect; Kind tells them apart.
+type Request struct {
+	Kind     Kind
+	LineAddr uint64 // byte address of the line, line-aligned
+	App      int    // owning application (for per-app accounting)
+	Core     int    // issuing core (reply routing)
+	Born     uint64 // core cycle the request entered the memory system
+	MemBorn  uint64 // memory cycle it entered its partition (set by dram)
+}
+
+// Flits returns the interconnect occupancy of the message in flits, given
+// the flit and line sizes in bytes: control-only messages take one flit,
+// data-bearing messages take one header flit plus the line payload.
+func (r *Request) Flits(flitBytes, lineBytes int) int {
+	if r.Kind == ReadReq {
+		return 1
+	}
+	return 1 + (lineBytes+flitBytes-1)/flitBytes
+}

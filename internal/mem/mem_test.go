@@ -1,0 +1,44 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if ReadReq.String() != "read" || WriteReq.String() != "write" || ReadReply.String() != "reply" {
+		t.Fatal("kind names")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind unprintable")
+	}
+}
+
+func TestFlits(t *testing.T) {
+	r := &Request{Kind: ReadReq}
+	if r.Flits(64, 128) != 1 {
+		t.Fatal("read request should be a single control flit")
+	}
+	w := &Request{Kind: WriteReq}
+	if w.Flits(64, 128) != 3 { // header + 2 data flits
+		t.Fatalf("write flits = %d", w.Flits(64, 128))
+	}
+	rp := &Request{Kind: ReadReply}
+	if rp.Flits(128, 128) != 2 { // header + 1 data flit
+		t.Fatalf("reply flits = %d", rp.Flits(128, 128))
+	}
+	// Non-divisible flit sizes round up.
+	if rp.Flits(100, 128) != 3 {
+		t.Fatalf("ceil flits = %d", rp.Flits(100, 128))
+	}
+}
+
+func TestFlitsAlwaysPositive(t *testing.T) {
+	f := func(kind uint8, flit, line uint8) bool {
+		r := &Request{Kind: Kind(kind % 3)}
+		return r.Flits(int(flit)+1, int(line)+1) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

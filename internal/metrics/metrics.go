@@ -1,0 +1,221 @@
+// Package metrics implements the paper's Table III: the slowdown-based
+// system metrics (SD, WS, FI, HS) reported in the evaluation, the
+// auxiliary resource metrics (BW, CMR, EB), and the EB-based runtime
+// proxies (EB-WS, EB-FI, EB-HS) the proposed mechanisms optimize, plus the
+// alone-ratio bias measures of Fig. 5.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// ebFloor keeps ratio metrics finite when an application's EB is measured
+// as (near) zero over a window with no memory traffic.
+const ebFloor = 1e-3
+
+// cmrFloor caps cache amplification at 100x, matching the simulator's
+// telemetry floor.
+const cmrFloor = 1e-2
+
+// Slowdowns computes per-application SD = IPC-Shared / IPC-Alone. The
+// alone IPCs must come from each application running by itself on the same
+// core set at its bestTLP (the paper's definition).
+func Slowdowns(sharedIPC, aloneIPC []float64) ([]float64, error) {
+	if len(sharedIPC) != len(aloneIPC) {
+		return nil, fmt.Errorf("metrics: %d shared IPCs vs %d alone IPCs", len(sharedIPC), len(aloneIPC))
+	}
+	sd := make([]float64, len(sharedIPC))
+	for i := range sharedIPC {
+		if aloneIPC[i] <= 0 {
+			return nil, fmt.Errorf("metrics: alone IPC of app %d is %v", i, aloneIPC[i])
+		}
+		sd[i] = sharedIPC[i] / aloneIPC[i]
+	}
+	return sd, nil
+}
+
+// WS is the Weighted Speedup: the sum of slowdowns. Its maximum is the
+// number of applications (absent constructive interference).
+func WS(sd []float64) float64 {
+	sum := 0.0
+	for _, s := range sd {
+		sum += s
+	}
+	return sum
+}
+
+// FI is the Fairness Index: the minimum pairwise ratio of slowdowns.
+// 1.0 is a completely fair system. For two applications this is
+// min(SD1/SD2, SD2/SD1); for more it generalizes to min_i,j SDi/SDj.
+func FI(sd []float64) float64 {
+	if len(sd) == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range sd {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi <= 0 {
+		return 0
+	}
+	return lo / hi
+}
+
+// HS is the Harmonic Weighted Speedup, n/Σ(1/SDi), balancing throughput
+// and fairness.
+func HS(sd []float64) float64 {
+	if len(sd) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range sd {
+		if s <= 0 {
+			return 0
+		}
+		sum += 1 / s
+	}
+	return float64(len(sd)) / sum
+}
+
+// IT is the Instruction Throughput: the sum of raw IPCs (used by
+// Observation 2: maximizing IT is not maximizing WS).
+func IT(ipc []float64) float64 {
+	sum := 0.0
+	for _, x := range ipc {
+		sum += x
+	}
+	return sum
+}
+
+// EB computes effective bandwidth from attained bandwidth (fraction of
+// peak) and combined miss rate, flooring CMR so idle phases stay finite.
+func EB(bw, cmr float64) float64 {
+	if cmr < cmrFloor {
+		cmr = cmrFloor
+	}
+	return bw / cmr
+}
+
+// CMR is the combined miss rate L1MR * L2MR.
+func CMR(l1mr, l2mr float64) float64 { return l1mr * l2mr }
+
+// floorEB clamps an EB vector away from zero for ratio metrics.
+func floorEB(eb []float64) []float64 {
+	out := make([]float64, len(eb))
+	for i, e := range eb {
+		if e < ebFloor {
+			e = ebFloor
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// EBWS is the EB-based Weighted Speedup: the sum of per-app EBs.
+func EBWS(eb []float64) float64 {
+	sum := 0.0
+	for _, e := range eb {
+		sum += e
+	}
+	return sum
+}
+
+// EBFI is the EB-based Fairness Index: the minimum pairwise EB ratio,
+// optionally after scaling each EB by the application's alone-EB (the
+// scaling factors of Section IV). scale may be nil for unscaled EB-FI.
+func EBFI(eb, scale []float64) float64 {
+	e := floorEB(eb)
+	if scale != nil {
+		for i := range e {
+			if i < len(scale) && scale[i] > 0 {
+				e[i] /= scale[i]
+			}
+		}
+	}
+	return FI(e)
+}
+
+// EBHS is the EB-based Harmonic Speedup, optionally scaled like EBFI.
+func EBHS(eb, scale []float64) float64 {
+	e := floorEB(eb)
+	if scale != nil {
+		for i := range e {
+			if i < len(scale) && scale[i] > 0 {
+				e[i] /= scale[i]
+			}
+		}
+	}
+	return HS(e)
+}
+
+// AloneRatio returns the bias measure used in Fig. 5: max(m1/m2, m2/m1)
+// for the alone values of the two applications (IPC_AR or EB_AR).
+func AloneRatio(m1, m2 float64) float64 {
+	if m1 <= 0 || m2 <= 0 {
+		return math.Inf(1)
+	}
+	if m1 > m2 {
+		return m1 / m2
+	}
+	return m2 / m1
+}
+
+// Objective selects which system metric an optimizer targets.
+type Objective int
+
+const (
+	// ObjWS maximizes weighted speedup (or EB-WS for EB-based search).
+	ObjWS Objective = iota
+	// ObjFI maximizes the fairness index (or EB-FI).
+	ObjFI
+	// ObjHS maximizes harmonic weighted speedup (or EB-HS).
+	ObjHS
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjWS:
+		return "WS"
+	case ObjFI:
+		return "FI"
+	case ObjHS:
+		return "HS"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// SDMetric evaluates the objective over a slowdown vector.
+func (o Objective) SDMetric(sd []float64) float64 {
+	switch o {
+	case ObjWS:
+		return WS(sd)
+	case ObjFI:
+		return FI(sd)
+	case ObjHS:
+		return HS(sd)
+	}
+	return 0
+}
+
+// EBMetric evaluates the EB-based proxy of the objective over an EB
+// vector, with optional alone-EB scaling (used by FI and HS as Section IV
+// prescribes; WS is unscaled because outliers are rare).
+func (o Objective) EBMetric(eb, scale []float64) float64 {
+	switch o {
+	case ObjWS:
+		return EBWS(eb)
+	case ObjFI:
+		return EBFI(eb, scale)
+	case ObjHS:
+		return EBHS(eb, scale)
+	}
+	return 0
+}

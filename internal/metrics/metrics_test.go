@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSlowdowns(t *testing.T) {
+	sd, err := Slowdowns([]float64{2, 3}, []float64{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sd[0], 0.5) || !almost(sd[1], 0.5) {
+		t.Fatalf("sd = %v", sd)
+	}
+	if _, err := Slowdowns([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Slowdowns([]float64{1, 1}, []float64{1, 0}); err == nil {
+		t.Error("zero alone IPC accepted")
+	}
+}
+
+func TestTableIIIWorkedExample(t *testing.T) {
+	sd := []float64{0.8, 0.5}
+	if !almost(WS(sd), 1.3) {
+		t.Errorf("WS = %v", WS(sd))
+	}
+	if !almost(FI(sd), 0.625) {
+		t.Errorf("FI = %v", FI(sd))
+	}
+	// HS = 2/(1/0.8 + 1/0.5) = 2/3.25
+	if !almost(HS(sd), 2/3.25) {
+		t.Errorf("HS = %v", HS(sd))
+	}
+	if !almost(IT([]float64{1.5, 2.5}), 4) {
+		t.Errorf("IT wrong")
+	}
+}
+
+func TestFIProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		sd := []float64{float64(a)/100 + 0.01, float64(b)/100 + 0.01}
+		fi := FI(sd)
+		if fi < 0 || fi > 1+1e-12 {
+			return false
+		}
+		// Symmetric.
+		return almost(fi, FI([]float64{sd[1], sd[0]}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if FI([]float64{0.7, 0.7}) != 1 {
+		t.Error("equal slowdowns not perfectly fair")
+	}
+	if FI(nil) != 0 {
+		t.Error("empty FI")
+	}
+}
+
+func TestHSBetweenMinAndMax(t *testing.T) {
+	// n-app harmonic speedup lies within [n*min, n*max]/n... more simply:
+	// min(sd) <= HS <= max(sd) for the harmonic mean.
+	f := func(a, b, c uint16) bool {
+		sd := []float64{float64(a)/50 + 0.02, float64(b)/50 + 0.02, float64(c)/50 + 0.02}
+		h := HS(sd)
+		lo, hi := sd[0], sd[0]
+		for _, s := range sd {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		return h >= lo-1e-9 && h <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWSProperties(t *testing.T) {
+	// WS is the sum and is maximized at SD = 1 per app.
+	f := func(a, b uint8) bool {
+		sd := []float64{float64(a%101) / 100, float64(b%101) / 100}
+		return WS(sd) <= 2+1e-12 && almost(WS(sd), sd[0]+sd[1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEBAndFloor(t *testing.T) {
+	if !almost(EB(0.4, 0.2), 2.0) {
+		t.Errorf("EB = %v", EB(0.4, 0.2))
+	}
+	// CMR below the floor is clamped: caches amplify at most 100x.
+	if got := EB(0.5, 0); !almost(got, 50) {
+		t.Errorf("floored EB = %v, want 50", got)
+	}
+	if !almost(CMR(0.5, 0.4), 0.2) {
+		t.Errorf("CMR wrong")
+	}
+}
+
+func TestEBWS(t *testing.T) {
+	if !almost(EBWS([]float64{1.5, 2.5}), 4) {
+		t.Error("EBWS wrong")
+	}
+}
+
+func TestEBFIScaling(t *testing.T) {
+	eb := []float64{2, 4}
+	if !almost(EBFI(eb, nil), 0.5) {
+		t.Errorf("unscaled EBFI = %v", EBFI(eb, nil))
+	}
+	// Scaling by the alone EBs makes the system look perfectly fair when
+	// each app retains the same fraction of its alone EB.
+	if !almost(EBFI(eb, []float64{4, 8}), 1) {
+		t.Errorf("scaled EBFI = %v, want 1", EBFI(eb, []float64{4, 8}))
+	}
+	// Zero/negative scales are ignored rather than dividing by zero.
+	if v := EBFI(eb, []float64{0, 8}); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("EBFI with zero scale = %v", v)
+	}
+}
+
+func TestEBHS(t *testing.T) {
+	if !almost(EBHS([]float64{2, 2}, nil), 2) {
+		t.Errorf("EBHS = %v", EBHS([]float64{2, 2}, nil))
+	}
+	if v := EBHS([]float64{0, 2}, nil); v <= 0 {
+		t.Errorf("floored EBHS = %v, want positive", v)
+	}
+}
+
+func TestAloneRatio(t *testing.T) {
+	if !almost(AloneRatio(2, 8), 4) || !almost(AloneRatio(8, 2), 4) {
+		t.Error("AloneRatio not symmetric")
+	}
+	if !almost(AloneRatio(3, 3), 1) {
+		t.Error("AloneRatio of equals != 1")
+	}
+	if !math.IsInf(AloneRatio(0, 1), 1) {
+		t.Error("AloneRatio with zero should be +Inf")
+	}
+	f := func(a, b uint16) bool {
+		return AloneRatio(float64(a)+1, float64(b)+1) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectiveDispatch(t *testing.T) {
+	sd := []float64{0.8, 0.5}
+	if !almost(ObjWS.SDMetric(sd), WS(sd)) {
+		t.Error("ObjWS dispatch")
+	}
+	if !almost(ObjFI.SDMetric(sd), FI(sd)) {
+		t.Error("ObjFI dispatch")
+	}
+	if !almost(ObjHS.SDMetric(sd), HS(sd)) {
+		t.Error("ObjHS dispatch")
+	}
+	eb := []float64{1, 2}
+	if !almost(ObjWS.EBMetric(eb, nil), 3) {
+		t.Error("EB dispatch WS")
+	}
+	if !almost(ObjFI.EBMetric(eb, nil), 0.5) {
+		t.Error("EB dispatch FI")
+	}
+	if ObjWS.String() != "WS" || ObjFI.String() != "FI" || ObjHS.String() != "HS" {
+		t.Error("Objective names")
+	}
+	if Objective(99).SDMetric(sd) != 0 {
+		t.Error("unknown objective should score 0")
+	}
+}
+
+func TestEquation5Consistency(t *testing.T) {
+	// The paper's WS derivation: with equal alone values, WS is
+	// proportional to the shared sum. Verify the algebra via Slowdowns.
+	shared := []float64{3, 5}
+	alone := []float64{10, 10}
+	sd, _ := Slowdowns(shared, alone)
+	if !almost(WS(sd), (3.0+5.0)/10.0) {
+		t.Errorf("WS = %v", WS(sd))
+	}
+}

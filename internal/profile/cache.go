@@ -1,0 +1,99 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+)
+
+// cacheFile is the on-disk representation of a profiled suite, fingerprinted
+// by the machine configuration and application parameters so a stale cache
+// is never silently reused.
+type cacheFile struct {
+	Fingerprint string                 `json:"fingerprint"`
+	Profiles    map[string]*AppProfile `json:"profiles"`
+	GroupMeanEB [4]float64             `json:"group_mean_eb"`
+}
+
+// Fingerprint derives a stable identity for the profiling setup: machine,
+// applications, run lengths, alone core share, and TLP levels.
+func Fingerprint(opts Options, apps []kernel.Params) string {
+	opts.fillDefaults()
+	b, err := json.Marshal(struct {
+		Cfg        config.GPU
+		Apps       []kernel.Params
+		Total      uint64
+		Warmup     uint64
+		CoresAlone int
+		Levels     []int
+	}{opts.Config, apps, opts.TotalCycles, opts.WarmupCycles, opts.CoresAlone, opts.Levels})
+	if err != nil {
+		panic(err) // plain data structs always marshal
+	}
+	var h uint64 = 1469598103934665603
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// Save writes the suite to path with the given fingerprint.
+func (s *Suite) Save(path, fingerprint string) error {
+	cf := cacheFile{
+		Fingerprint: fingerprint,
+		Profiles:    s.Profiles,
+		GroupMeanEB: s.GroupMeanEB,
+	}
+	b, err := json.MarshalIndent(cf, "", " ")
+	if err != nil {
+		return fmt.Errorf("profile: marshal cache: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("profile: write cache: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a cached suite from path, returning an error if the file is
+// missing, unreadable, or fingerprinted for a different setup.
+func Load(path, fingerprint string) (*Suite, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		return nil, fmt.Errorf("profile: parse cache %s: %w", path, err)
+	}
+	if cf.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("profile: cache %s was built for a different configuration", path)
+	}
+	return &Suite{Profiles: cf.Profiles, GroupMeanEB: cf.GroupMeanEB}, nil
+}
+
+// LoadOrProfile returns the cached suite at path when valid, otherwise
+// profiles the applications and (best effort) refreshes the cache.
+func LoadOrProfile(path string, apps []kernel.Params, opts Options) (*Suite, error) {
+	opts.fillDefaults()
+	fp := Fingerprint(opts, apps)
+	if path != "" {
+		if s, err := Load(path, fp); err == nil {
+			return s, nil
+		}
+	}
+	s, err := ProfileSuite(apps, opts)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := s.Save(path, fp); err != nil {
+			return s, fmt.Errorf("profile: suite ready but cache not saved: %w", err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,254 @@
+// Package profile performs the paper's alone-run profiling: each
+// application executes by itself on the core share it would receive when
+// co-scheduled (the full memory system stays attached, exactly as the
+// paper defines IPC-Alone), across every TLP level. The profiles yield
+// bestTLP, IPC@bestTLP and EB@bestTLP — the contents of Table IV — plus
+// the group classification (G1..G4 by alone-EB quartile) used for the
+// group-based EB scaling factors.
+package profile
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/sim"
+	"ebm/internal/tlp"
+)
+
+// Options configures the profiler.
+type Options struct {
+	Config config.GPU
+	// CoresAlone is the core count an application receives when alone —
+	// the paper's "same set of cores" (half the machine for two-app
+	// workloads). Default NumCores/2.
+	CoresAlone   int
+	Levels       []int
+	TotalCycles  uint64
+	WarmupCycles uint64
+	Parallelism  int
+}
+
+func (o *Options) fillDefaults() {
+	if o.CoresAlone == 0 {
+		o.CoresAlone = o.Config.NumCores / 2
+	}
+	if o.Levels == nil {
+		o.Levels = append([]int(nil), config.TLPLevels...)
+	}
+	if o.TotalCycles == 0 {
+		o.TotalCycles = 120_000
+	}
+	if o.WarmupCycles == 0 {
+		o.WarmupCycles = 20_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+}
+
+// LevelResult is the alone behaviour of an application at one TLP level.
+type LevelResult struct {
+	TLP    int
+	Result sim.AppResult
+}
+
+// AppProfile is the full alone profile of one application.
+type AppProfile struct {
+	Name    string
+	Levels  []LevelResult
+	BestTLP int
+	BestIPC float64
+	BestEB  float64 // EB at bestTLP
+	Group   int     // 1..4 by alone-EB quartile across the profiled set
+}
+
+// AtTLP returns the level result for a given TLP value.
+func (p *AppProfile) AtTLP(tlp int) (LevelResult, bool) {
+	for _, l := range p.Levels {
+		if l.TLP == tlp {
+			return l, true
+		}
+	}
+	return LevelResult{}, false
+}
+
+// AloneRun simulates one application alone at one TLP level.
+func AloneRun(app kernel.Params, tlpLevel int, opts Options) (sim.Result, error) {
+	opts.fillDefaults()
+	cfg := opts.Config
+	cfg.NumCores = opts.CoresAlone
+	s, err := sim.New(sim.Options{
+		Config:       cfg,
+		Apps:         []kernel.Params{app},
+		Manager:      tlp.NewStatic(fmt.Sprintf("alone@%d", tlpLevel), []int{tlpLevel}, nil),
+		TotalCycles:  opts.TotalCycles,
+		WarmupCycles: opts.WarmupCycles,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// ProfileApp sweeps one application across every TLP level alone.
+func ProfileApp(app kernel.Params, opts Options) (*AppProfile, error) {
+	opts.fillDefaults()
+	p := &AppProfile{Name: app.Name}
+	for _, lvl := range opts.Levels {
+		res, err := AloneRun(app, lvl, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.Levels = append(p.Levels, LevelResult{TLP: lvl, Result: res.Apps[0]})
+	}
+	best := 0
+	for i, l := range p.Levels {
+		if l.Result.IPC > p.Levels[best].Result.IPC {
+			best = i
+		}
+	}
+	p.BestTLP = p.Levels[best].TLP
+	p.BestIPC = p.Levels[best].Result.IPC
+	p.BestEB = p.Levels[best].Result.EB
+	return p, nil
+}
+
+// Suite holds profiles for a set of applications, keyed by name.
+type Suite struct {
+	Profiles map[string]*AppProfile
+	// GroupMeanEB[g-1] is the mean alone-EB of group g, the user-supplied
+	// scaling factors of Section IV.
+	GroupMeanEB [4]float64
+}
+
+// ProfileSuite profiles every application and assigns EB groups by
+// quartile.
+func ProfileSuite(apps []kernel.Params, opts Options) (*Suite, error) {
+	opts.fillDefaults()
+	s := &Suite{Profiles: make(map[string]*AppProfile, len(apps))}
+
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+		ec error
+	)
+	sem := make(chan struct{}, opts.Parallelism)
+	// Each ProfileApp already runs its levels serially; parallelize across
+	// apps but keep total concurrency bounded.
+	inner := opts
+	inner.Parallelism = 1
+	for _, app := range apps {
+		app := app
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p, err := ProfileApp(app, inner)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if ec == nil {
+					ec = err
+				}
+				return
+			}
+			s.Profiles[app.Name] = p
+		}()
+	}
+	wg.Wait()
+	if ec != nil {
+		return nil, ec
+	}
+	s.assignGroups()
+	return s, nil
+}
+
+// assignGroups splits the suite into EB quartiles: G1 lowest .. G4 highest.
+func (s *Suite) assignGroups() {
+	type ne struct {
+		name string
+		eb   float64
+	}
+	var all []ne
+	for n, p := range s.Profiles {
+		all = append(all, ne{n, p.BestEB})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].eb != all[j].eb {
+			return all[i].eb < all[j].eb
+		}
+		return all[i].name < all[j].name
+	})
+	var sums [4]float64
+	var counts [4]int
+	for i, e := range all {
+		g := i * 4 / len(all) // 0..3
+		s.Profiles[e.name].Group = g + 1
+		sums[g] += e.eb
+		counts[g]++
+	}
+	for g := 0; g < 4; g++ {
+		if counts[g] > 0 {
+			s.GroupMeanEB[g] = sums[g] / float64(counts[g])
+		}
+	}
+}
+
+// AloneIPC returns the IPC@bestTLP vector for the named applications.
+func (s *Suite) AloneIPC(names []string) ([]float64, error) {
+	out := make([]float64, len(names))
+	for i, n := range names {
+		p, ok := s.Profiles[n]
+		if !ok {
+			return nil, fmt.Errorf("profile: no profile for %q", n)
+		}
+		out[i] = p.BestIPC
+	}
+	return out, nil
+}
+
+// AloneEB returns the EB@bestTLP vector (exact scaling factors).
+func (s *Suite) AloneEB(names []string) ([]float64, error) {
+	out := make([]float64, len(names))
+	for i, n := range names {
+		p, ok := s.Profiles[n]
+		if !ok {
+			return nil, fmt.Errorf("profile: no profile for %q", n)
+		}
+		out[i] = p.BestEB
+	}
+	return out, nil
+}
+
+// GroupEB returns the group-mean scaling factors for the named apps (the
+// paper's user-supplied option).
+func (s *Suite) GroupEB(names []string) ([]float64, error) {
+	out := make([]float64, len(names))
+	for i, n := range names {
+		p, ok := s.Profiles[n]
+		if !ok {
+			return nil, fmt.Errorf("profile: no profile for %q", n)
+		}
+		out[i] = s.GroupMeanEB[p.Group-1]
+	}
+	return out, nil
+}
+
+// BestTLPs returns the bestTLP vector for the named apps (the ++bestTLP
+// baseline combination).
+func (s *Suite) BestTLPs(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		p, ok := s.Profiles[n]
+		if !ok {
+			return nil, fmt.Errorf("profile: no profile for %q", n)
+		}
+		out[i] = p.BestTLP
+	}
+	return out, nil
+}

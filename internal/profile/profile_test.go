@@ -1,0 +1,194 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+)
+
+func smallOpts() Options {
+	c := config.Default()
+	c.NumCores = 4
+	return Options{
+		Config:       c,
+		CoresAlone:   2,
+		Levels:       []int{1, 4, 24},
+		TotalCycles:  12_000,
+		WarmupCycles: 2_000,
+	}
+}
+
+func someApps(names ...string) []kernel.Params {
+	out := make([]kernel.Params, len(names))
+	for i, n := range names {
+		p, ok := kernel.ByName(n)
+		if !ok {
+			panic(n)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestProfileAppFindsBest(t *testing.T) {
+	app, _ := kernel.ByName("JPEG")
+	p, err := ProfileApp(app, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Levels) != 3 {
+		t.Fatalf("%d levels", len(p.Levels))
+	}
+	for _, l := range p.Levels {
+		if l.Result.IPC > p.BestIPC+1e-12 {
+			t.Fatalf("bestIPC %v below level %d's %v", p.BestIPC, l.TLP, l.Result.IPC)
+		}
+	}
+	if _, ok := p.AtTLP(4); !ok {
+		t.Fatal("AtTLP(4) missing")
+	}
+	if _, ok := p.AtTLP(5); ok {
+		t.Fatal("AtTLP(5) invented a level")
+	}
+	// Latency-bound JPEG should prefer more TLP over TLP=1.
+	if p.BestTLP == 1 {
+		t.Fatalf("JPEG bestTLP = 1 is implausible")
+	}
+}
+
+func TestProfileSuiteGroups(t *testing.T) {
+	suite, err := ProfileSuite(someApps("BLK", "TRD", "JPEG", "GUPS"), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Profiles) != 4 {
+		t.Fatalf("%d profiles", len(suite.Profiles))
+	}
+	counts := map[int]int{}
+	for _, p := range suite.Profiles {
+		if p.Group < 1 || p.Group > 4 {
+			t.Fatalf("group %d out of range", p.Group)
+		}
+		counts[p.Group]++
+	}
+	// 4 apps over 4 quartiles: one each.
+	for g := 1; g <= 4; g++ {
+		if counts[g] != 1 {
+			t.Fatalf("group sizes %v, want one per quartile", counts)
+		}
+	}
+	// Group means must be ordered.
+	for g := 1; g < 4; g++ {
+		if suite.GroupMeanEB[g-1] > suite.GroupMeanEB[g] {
+			t.Fatalf("group means not monotone: %v", suite.GroupMeanEB)
+		}
+	}
+}
+
+func TestSuiteAccessors(t *testing.T) {
+	suite, err := ProfileSuite(someApps("BLK", "TRD"), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"BLK", "TRD"}
+	ipc, err := suite.AloneIPC(names)
+	if err != nil || len(ipc) != 2 || ipc[0] <= 0 {
+		t.Fatalf("AloneIPC %v %v", ipc, err)
+	}
+	eb, err := suite.AloneEB(names)
+	if err != nil || eb[0] <= 0 {
+		t.Fatalf("AloneEB %v %v", eb, err)
+	}
+	best, err := suite.BestTLPs(names)
+	if err != nil || len(best) != 2 {
+		t.Fatalf("BestTLPs %v %v", best, err)
+	}
+	if _, err := suite.AloneIPC([]string{"NOPE"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := suite.GroupEB(names); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.json")
+	opts := smallOpts()
+	apps := someApps("BLK", "TRD")
+
+	s1, err := LoadOrProfile(path, apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+	s2, err := LoadOrProfile(path, apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, p1 := range s1.Profiles {
+		p2 := s2.Profiles[n]
+		if p2 == nil || p2.BestIPC != p1.BestIPC || p2.BestTLP != p1.BestTLP {
+			t.Fatalf("cache round trip lost %s", n)
+		}
+	}
+}
+
+func TestCacheInvalidatedByConfigChange(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.json")
+	apps := someApps("BLK")
+	opts := smallOpts()
+	if _, err := LoadOrProfile(path, apps, opts); err != nil {
+		t.Fatal(err)
+	}
+	fp1 := Fingerprint(opts, apps)
+	opts2 := opts
+	opts2.Config.L1MSHRs = 999
+	fp2 := Fingerprint(opts2, apps)
+	if fp1 == fp2 {
+		t.Fatal("fingerprint insensitive to config change")
+	}
+	opts3 := opts
+	opts3.CoresAlone = 1
+	if Fingerprint(opts3, apps) == fp1 {
+		t.Fatal("fingerprint insensitive to the alone core share")
+	}
+	if _, err := Load(path, fp2); err == nil {
+		t.Fatal("stale cache accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json"), "x"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, "x"); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
+
+func TestAloneRunUsesReducedCores(t *testing.T) {
+	app, _ := kernel.ByName("JPEG")
+	opts := smallOpts()
+	res, err := AloneRun(app, 24, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cores x 2 schedulers: IPC can never exceed 4.
+	if res.Apps[0].IPC > 4.01 {
+		t.Fatalf("alone run IPC %v exceeds the 2-core issue bound", res.Apps[0].IPC)
+	}
+}

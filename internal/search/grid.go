@@ -1,0 +1,541 @@
+// Package search runs workloads under every TLP combination and evaluates
+// the paper's offline comparison points on the resulting grid:
+//
+//   - optWS / optFI / optHS — exhaustive search over the SD-based metric
+//     (the oracle the paper normalizes against);
+//   - BF-WS / BF-FI / BF-HS — exhaustive search over the EB-based metric
+//     (how good EB is as a proxy, with no search error);
+//   - PBS-WS/FI/HS (Offline) — the pattern-based search executed on the
+//     grid data, isolating the algorithm from runtime overheads.
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/metrics"
+	"ebm/internal/sim"
+	"ebm/internal/tlp"
+)
+
+// GridOptions configures a grid build.
+type GridOptions struct {
+	Config       config.GPU
+	Levels       []int // TLP levels per axis; default config.TLPLevels
+	TotalCycles  uint64
+	WarmupCycles uint64
+	Parallelism  int // concurrent simulations; default NumCPU
+}
+
+// Grid holds one sim.Result per TLP combination of a workload.
+type Grid struct {
+	Apps    []kernel.Params
+	Levels  []int
+	Results []sim.Result // flat, row-major: index = Σ levelIdx[i] * |levels|^i
+}
+
+// Index converts per-app level indices into the flat grid index.
+func (g *Grid) Index(levelIdx []int) int {
+	idx := 0
+	stride := 1
+	for _, li := range levelIdx {
+		idx += li * stride
+		stride *= len(g.Levels)
+	}
+	return idx
+}
+
+// At returns the result for the given per-app TLP levels (values, not
+// indices).
+func (g *Grid) At(tlps []int) (sim.Result, error) {
+	li := make([]int, len(tlps))
+	for i, t := range tlps {
+		k := indexOf(g.Levels, t)
+		if k < 0 {
+			return sim.Result{}, fmt.Errorf("search: TLP %d not a grid level %v", t, g.Levels)
+		}
+		li[i] = k
+	}
+	return g.Results[g.Index(li)], nil
+}
+
+// Combos returns every TLP combination in flat-index order.
+func (g *Grid) Combos() [][]int {
+	n := len(g.Apps)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= len(g.Levels)
+	}
+	out := make([][]int, total)
+	for idx := 0; idx < total; idx++ {
+		c := make([]int, n)
+		rem := idx
+		for i := 0; i < n; i++ {
+			c[i] = g.Levels[rem%len(g.Levels)]
+			rem /= len(g.Levels)
+		}
+		out[idx] = c
+	}
+	return out
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// BuildGrid simulates the workload under every TLP combination.
+func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("search: no applications")
+	}
+	if opts.Levels == nil {
+		opts.Levels = append([]int(nil), config.TLPLevels...)
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.NumCPU()
+	}
+	g := &Grid{Apps: append([]kernel.Params(nil), apps...), Levels: opts.Levels}
+	combos := g.Combos()
+	g.Results = make([]sim.Result, len(combos))
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if err != nil || next >= len(combos) {
+				mu.Unlock()
+				return
+			}
+			idx := next
+			next++
+			mu.Unlock()
+
+			res, runErr := runCombo(apps, combos[idx], opts)
+			mu.Lock()
+			if runErr != nil && err == nil {
+				err = runErr
+			}
+			g.Results[idx] = res
+			mu.Unlock()
+		}
+	}
+	wg.Add(opts.Parallelism)
+	for i := 0; i < opts.Parallelism; i++ {
+		go worker()
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func runCombo(apps []kernel.Params, tlps []int, opts GridOptions) (sim.Result, error) {
+	s, err := sim.New(sim.Options{
+		Config:       opts.Config,
+		Apps:         apps,
+		Manager:      tlp.NewStatic(fmt.Sprintf("static%v", tlps), tlps, nil),
+		TotalCycles:  opts.TotalCycles,
+		WarmupCycles: opts.WarmupCycles,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// Eval is how a grid cell scores under some figure of merit.
+type Eval func(r sim.Result) float64
+
+// SDEval builds an evaluator for a slowdown-based objective given the
+// per-app alone IPCs (at bestTLP).
+func SDEval(obj metrics.Objective, aloneIPC []float64) Eval {
+	return func(r sim.Result) float64 {
+		sd, err := metrics.Slowdowns(r.IPCs(), aloneIPC)
+		if err != nil {
+			return 0
+		}
+		return obj.SDMetric(sd)
+	}
+}
+
+// EBEval builds an evaluator for an EB-based objective; scale may be nil.
+func EBEval(obj metrics.Objective, scale []float64) Eval {
+	return func(r sim.Result) float64 {
+		return obj.EBMetric(r.EBs(), scale)
+	}
+}
+
+// ITEval evaluates raw instruction throughput (Observation 2).
+func ITEval() Eval {
+	return func(r sim.Result) float64 { return metrics.IT(r.IPCs()) }
+}
+
+// Best exhaustively finds the combination maximizing eval. It returns the
+// winning TLP combination and its value.
+func (g *Grid) Best(eval Eval) ([]int, float64) {
+	combos := g.Combos()
+	bestIdx, bestV := 0, eval(g.Results[0])
+	for i := 1; i < len(combos); i++ {
+		if v := eval(g.Results[i]); v > bestV {
+			bestV = v
+			bestIdx = i
+		}
+	}
+	return combos[bestIdx], bestV
+}
+
+// PBSOffline executes the pattern-based search on the grid data: sweeps
+// with co-runners pinned at the maximum level, critical-app selection by
+// largest metric drop, inflection pinning, then downward tuning of the
+// remaining apps with first-non-improvement stopping. It mirrors the
+// online algorithm in internal/core minus all runtime overheads.
+// sweepLevels defaults to the online manager's {1,2,4,8,16,24} subset.
+func (g *Grid) PBSOffline(eval Eval, sweepLevels []int) ([]int, float64) {
+	n := len(g.Apps)
+	maxLevel := g.Levels[len(g.Levels)-1]
+	if sweepLevels == nil {
+		sweepLevels = []int{1, 2, 4, 8, 16, 24}
+	}
+	var usable []int
+	for _, l := range sweepLevels {
+		if indexOf(g.Levels, l) >= 0 {
+			usable = append(usable, l)
+		}
+	}
+	sweepLevels = usable
+
+	at := func(tlps []int) float64 {
+		r, err := g.At(tlps)
+		if err != nil {
+			return 0
+		}
+		return eval(r)
+	}
+
+	// Sweeps: vary one app over sweepLevels, others at maxLevel. Alongside
+	// the pair metric, record each app's own EB to locate its Guideline-2
+	// inflection cap.
+	curve := make([][]float64, n)
+	ownEB := make([][]float64, n)
+	for app := 0; app < n; app++ {
+		curve[app] = make([]float64, len(sweepLevels))
+		ownEB[app] = make([]float64, len(sweepLevels))
+		for li, l := range sweepLevels {
+			combo := make([]int, n)
+			for i := range combo {
+				combo[i] = maxLevel
+			}
+			combo[app] = l
+			curve[app][li] = at(combo)
+			if r, err := g.At(combo); err == nil {
+				ownEB[app][li] = r.Apps[app].EB
+			}
+		}
+	}
+	caps := make([]int, n)
+	for app := 0; app < n; app++ {
+		caps[app] = capByCollapse(ownEB[app], sweepLevels)
+	}
+	critical, bestDrop := 0, -1.0
+	for app := 0; app < n; app++ {
+		drop, _ := dropAndArgmax(curve[app])
+		if drop > bestDrop {
+			bestDrop = drop
+			critical = app
+		}
+	}
+	_, argmax := dropAndArgmax(curve[critical])
+	fixed := sweepLevels[argmax]
+	if fixed > caps[critical] {
+		fixed = caps[critical]
+	}
+
+	combo := make([]int, n)
+	for i := range combo {
+		if i != critical && caps[i] < maxLevel {
+			combo[i] = caps[i]
+		} else {
+			combo[i] = maxLevel
+		}
+	}
+	combo[critical] = fixed
+
+	// Tune the non-critical apps, most disruptive first.
+	order := make([]int, 0, n-1)
+	for app := 0; app < n; app++ {
+		if app != critical {
+			order = append(order, app)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, _ := dropAndArgmax(curve[order[i]])
+		dj, _ := dropAndArgmax(curve[order[j]])
+		return di > dj
+	})
+	desc := append([]int(nil), sweepLevels...)
+	sort.Sort(sort.Reverse(sort.IntSlice(desc)))
+	const patience = 2 // consecutive non-improvements before stopping
+	for _, app := range order {
+		lv := make([]int, 0, len(desc))
+		for _, l := range desc {
+			if l <= caps[app] {
+				lv = append(lv, l)
+			}
+		}
+		if len(lv) == 0 {
+			lv = []int{sweepLevels[0]}
+		}
+		bestT, bestV := lv[0], 0.0
+		combo[app] = lv[0]
+		bestV = at(combo)
+		miss := 0
+		for _, l := range lv[1:] {
+			combo[app] = l
+			v := at(combo)
+			if v > bestV {
+				bestV = v
+				bestT = l
+				miss = 0
+			} else if miss++; miss >= patience {
+				break
+			}
+		}
+		combo[app] = bestT
+	}
+	return combo, at(combo)
+}
+
+// PBSOfflineFI executes the paper's Section V-C fairness search on grid
+// data for a two-application workload: sweeps record the scaled
+// EB-difference; the application inducing the larger difference changes is
+// critical and is fixed at the balance crossing; the other is scanned for
+// the lowest healthy |difference|. scale holds the alone-EB scaling
+// factors (exact, group, or sampled).
+func (g *Grid) PBSOfflineFI(scale []float64, sweepLevels []int) ([]int, float64) {
+	if len(g.Apps) != 2 {
+		// The difference procedure is pairwise; defer to the generic
+		// climb for other shapes.
+		return g.PBSOffline(EBEval(metrics.ObjFI, scale), sweepLevels)
+	}
+	maxLevel := g.Levels[len(g.Levels)-1]
+	if sweepLevels == nil {
+		sweepLevels = []int{1, 2, 4, 8, 16, 24}
+	}
+	var usable []int
+	for _, l := range sweepLevels {
+		if indexOf(g.Levels, l) >= 0 {
+			usable = append(usable, l)
+		}
+	}
+	sweepLevels = usable
+
+	diffAt := func(tlps []int) (d, sum float64) {
+		r, err := g.At(tlps)
+		if err != nil {
+			return 0, 0
+		}
+		e0, e1 := r.Apps[0].EB, r.Apps[1].EB
+		if len(scale) >= 2 {
+			if scale[0] > 0 {
+				e0 /= scale[0]
+			}
+			if scale[1] > 0 {
+				e1 /= scale[1]
+			}
+		}
+		return e0 - e1, e0 + e1
+	}
+
+	n := 2
+	diffs := make([][]float64, n)
+	sums := make([][]float64, n)
+	ownEB := make([][]float64, n)
+	for app := 0; app < n; app++ {
+		diffs[app] = make([]float64, len(sweepLevels))
+		sums[app] = make([]float64, len(sweepLevels))
+		ownEB[app] = make([]float64, len(sweepLevels))
+		for li, l := range sweepLevels {
+			combo := []int{maxLevel, maxLevel}
+			combo[app] = l
+			diffs[app][li], sums[app][li] = diffAt(combo)
+			if r, err := g.At(combo); err == nil {
+				ownEB[app][li] = r.Apps[app].EB
+			}
+		}
+	}
+	caps := []int{
+		capByCollapse(ownEB[0], sweepLevels),
+		capByCollapse(ownEB[1], sweepLevels),
+	}
+	critical := 0
+	if curveRange(diffs[1]) > curveRange(diffs[0]) {
+		critical = 1
+	}
+	fixIdx := chooseByDiff(diffs[critical], sums[critical])
+	fixed := sweepLevels[fixIdx]
+	if fixed > caps[critical] {
+		fixed = caps[critical]
+	}
+
+	other := 1 - critical
+	combo := []int{0, 0}
+	combo[critical] = fixed
+	var tuneDiffs, tuneSums []float64
+	var tuneLv []int
+	for i := len(sweepLevels) - 1; i >= 0; i-- {
+		l := sweepLevels[i]
+		if l > caps[other] {
+			continue
+		}
+		combo[other] = l
+		d, s := diffAt(combo)
+		tuneDiffs = append(tuneDiffs, d)
+		tuneSums = append(tuneSums, s)
+		tuneLv = append(tuneLv, l)
+	}
+	if len(tuneLv) == 0 {
+		combo[other] = sweepLevels[0]
+	} else {
+		combo[other] = tuneLv[chooseByDiff(tuneDiffs, tuneSums)]
+	}
+	return combo, EBEval(metrics.ObjFI, scale)(mustAt(g, combo))
+}
+
+func mustAt(g *Grid, tlps []int) sim.Result {
+	r, err := g.At(tlps)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// chooseByDiff mirrors internal/core: prefer the balance sign-crossing of
+// the EB-difference; otherwise the smallest healthy |difference|.
+func chooseByDiff(diffs, sums []float64) int {
+	const healthyFrac = 0.4
+	best := -1
+	for i := 0; i+1 < len(diffs); i++ {
+		if (diffs[i] <= 0) == (diffs[i+1] <= 0) {
+			continue
+		}
+		cand := i
+		if absf(diffs[i+1]) < absf(diffs[i]) {
+			cand = i + 1
+		}
+		if best == -1 || absf(diffs[cand]) < absf(diffs[best]) {
+			best = cand
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	maxSum := 0.0
+	for _, s := range sums {
+		if s > maxSum {
+			maxSum = s
+		}
+	}
+	for i, d := range diffs {
+		if sums[i] < healthyFrac*maxSum {
+			continue
+		}
+		if best == -1 || absf(d) < absf(diffs[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best = 0
+	for i := range diffs {
+		if absf(diffs[i]) < absf(diffs[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// curveRange returns max-min of a curve.
+func curveRange(m []float64) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	lo, hi := m[0], m[0]
+	for _, v := range m {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// collapseFrac mirrors internal/core's Guideline-2 threshold.
+const collapseFrac = 0.6
+
+// capByCollapse returns the largest level whose own-EB retains at least
+// collapseFrac of the curve's peak (no cap for flat or rising curves).
+func capByCollapse(curve []float64, levels []int) int {
+	if len(curve) == 0 {
+		return levels[len(levels)-1]
+	}
+	peak := curve[0]
+	for _, v := range curve {
+		if v > peak {
+			peak = v
+		}
+	}
+	for i := len(curve) - 1; i >= 0; i-- {
+		if curve[i] >= collapseFrac*peak {
+			return levels[i]
+		}
+	}
+	return levels[0]
+}
+
+// dropAndArgmax mirrors internal/core's pattern detection: the sharpest
+// post-peak decline and the peak index.
+func dropAndArgmax(m []float64) (drop float64, argmax int) {
+	if len(m) == 0 {
+		return 0, 0
+	}
+	maxV := m[0]
+	for i, v := range m {
+		if v > maxV {
+			maxV = v
+			argmax = i
+		}
+	}
+	minAfter := maxV
+	for _, v := range m[argmax:] {
+		if v < minAfter {
+			minAfter = v
+		}
+	}
+	return maxV - minAfter, argmax
+}

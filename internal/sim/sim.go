@@ -1,0 +1,457 @@
+// Package sim assembles the full machine — cores, interconnect, memory
+// partitions — and runs the multi-application cycle loop, including the
+// paper's MAFIA-style execution model: each application owns an exclusive,
+// equal share of the cores while the L2 and DRAM are shared; a sampling
+// window periodically gathers per-application telemetry (L1/L2 miss rates,
+// attained bandwidth, effective bandwidth) and feeds the active TLP
+// management policy, whose decisions are applied through the warp-limiting
+// scheduler after a modeled communication delay.
+package sim
+
+import (
+	"fmt"
+
+	"ebm/internal/config"
+	"ebm/internal/dram"
+	"ebm/internal/gpu"
+	"ebm/internal/icnt"
+	"ebm/internal/kernel"
+	"ebm/internal/mem"
+	"ebm/internal/tlp"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	Config config.GPU
+
+	// Apps are the co-scheduled applications (1..N).
+	Apps []kernel.Params
+
+	// CoresPerApp optionally assigns an explicit number of cores to each
+	// app (must sum to Config.NumCores). Nil means an equal split.
+	CoresPerApp []int
+
+	// Manager is the TLP policy. Nil runs ++maxTLP.
+	Manager tlp.Manager
+
+	// TotalCycles and WarmupCycles delimit the run; metrics are measured
+	// over [WarmupCycles, TotalCycles).
+	TotalCycles  uint64
+	WarmupCycles uint64
+
+	// WindowCycles is the sampling-window length in core cycles
+	// (default 5000).
+	WindowCycles uint64
+
+	// DesignatedSampling mimics the paper's low-overhead hardware: the
+	// manager sees the L1 miss rate of one designated core per app and
+	// the L2/bandwidth telemetry of one designated partition, instead of
+	// machine-wide aggregates. Final Result metrics always aggregate.
+	DesignatedSampling bool
+
+	// DecisionDelay is the core-cycle lag between a manager decision and
+	// its application at the warp schedulers (counter relay latency,
+	// Fig. 8). Default 32.
+	DecisionDelay uint64
+
+	// L2WayPartition optionally restricts each app to a subset of L2 ways
+	// (sensitivity study X3). Indexed [app][way].
+	L2WayPartition [][]bool
+
+	// VictimTags, when positive, enables an n-entry victim tag array on
+	// every L1 (the lost-locality detector consumed by the CCWS
+	// baseline's VTARate telemetry).
+	VictimTags int
+
+	// OnWindow, when non-nil, observes every sampling window after the
+	// manager has seen it (tracing, Fig. 11).
+	OnWindow func(tlp.Sample)
+}
+
+func (o *Options) fillDefaults() error {
+	if len(o.Apps) == 0 {
+		return fmt.Errorf("sim: no applications")
+	}
+	if o.TotalCycles == 0 {
+		o.TotalCycles = 120_000
+	}
+	if o.WindowCycles == 0 {
+		o.WindowCycles = 5_000
+	}
+	if o.WarmupCycles >= o.TotalCycles {
+		return fmt.Errorf("sim: warmup %d >= total %d", o.WarmupCycles, o.TotalCycles)
+	}
+	if o.DecisionDelay == 0 {
+		o.DecisionDelay = 32
+	}
+	if o.Manager == nil {
+		o.Manager = tlp.NewMaxTLP(len(o.Apps))
+	}
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	if o.CoresPerApp == nil {
+		if o.Config.NumCores%len(o.Apps) != 0 {
+			return fmt.Errorf("sim: %d cores not divisible among %d apps",
+				o.Config.NumCores, len(o.Apps))
+		}
+		per := o.Config.NumCores / len(o.Apps)
+		o.CoresPerApp = make([]int, len(o.Apps))
+		for i := range o.CoresPerApp {
+			o.CoresPerApp[i] = per
+		}
+	}
+	sum := 0
+	for _, n := range o.CoresPerApp {
+		if n <= 0 {
+			return fmt.Errorf("sim: app with %d cores", n)
+		}
+		sum += n
+	}
+	if sum != o.Config.NumCores {
+		return fmt.Errorf("sim: core assignment %v does not sum to %d",
+			o.CoresPerApp, o.Config.NumCores)
+	}
+	for _, p := range o.Apps {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppResult is one application's measured behaviour over the measurement
+// region of a run.
+type AppResult struct {
+	Name  string
+	Insts uint64
+	IPC   float64
+
+	L1MR float64
+	L2MR float64
+	CMR  float64
+	BW   float64 // fraction of peak DRAM bandwidth
+	EB   float64
+
+	RowHitRate   float64
+	AvgLatency   float64 // mean DRAM read latency in memory cycles
+	MemStallFrac float64
+	IssueUtil    float64
+
+	AvgTLP   float64
+	FinalTLP int
+	Kernels  uint64 // kernel launches completed during measurement
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Cycles  uint64 // measured core cycles
+	TotalBW float64
+	Apps    []AppResult
+	Windows uint64
+}
+
+// IPCs returns the per-app IPC vector.
+func (r Result) IPCs() []float64 {
+	out := make([]float64, len(r.Apps))
+	for i, a := range r.Apps {
+		out[i] = a.IPC
+	}
+	return out
+}
+
+// EBs returns the per-app effective bandwidth vector.
+func (r Result) EBs() []float64 {
+	out := make([]float64, len(r.Apps))
+	for i, a := range r.Apps {
+		out[i] = a.EB
+	}
+	return out
+}
+
+type appSnapshot struct {
+	insts            uint64
+	l1Acc, l1Miss    uint64
+	l2Acc, l2Miss    uint64
+	bwBytes          uint64
+	rowHits, rowMiss uint64
+	latSum, reads    uint64
+	idle, memStall   uint64
+	issued           uint64
+	cycles           uint64
+	memCycles        uint64
+	tlpWeighted      float64
+	kernels          uint64
+}
+
+// Simulator holds the assembled machine.
+type Simulator struct {
+	opts Options
+	cfg  *config.GPU
+
+	cores      []*gpu.Core
+	appCores   [][]int                // core ids per app
+	appStreams [][]*kernel.WarpStream // all warp streams per app
+	phaseSets  [][]*kernel.Params     // phase rotation per app (base first)
+	phaseIdx   []int
+	partitions []*dram.Partition
+	toMem      *icnt.Network
+	toCore     *icnt.Network
+
+	coreInjectFree []uint64
+	partRespFree   []uint64
+
+	cycle    uint64
+	memCycle uint64
+	memAcc   float64
+
+	curDecision  tlp.Decision
+	pendDecision *tlp.Decision
+	pendAt       uint64
+
+	instAtLaunch []uint64 // per app, inst count at last kernel launch
+	kernels      []uint64
+
+	tlpAccum     []float64 // per app, cumulative TLP-cycles
+	lastTLPFlush uint64
+
+	warm  []appSnapshot // snapshot at warmup
+	accum []appSnapshot // running totals helper reused per call
+}
+
+// New builds a simulator; Options are validated and defaulted.
+func New(opts Options) (*Simulator, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	cfg := opts.Config
+	s := &Simulator{
+		opts:           opts,
+		cfg:            &cfg,
+		coreInjectFree: make([]uint64, cfg.NumCores),
+		partRespFree:   make([]uint64, cfg.NumMemPartitions),
+		instAtLaunch:   make([]uint64, len(opts.Apps)),
+		kernels:        make([]uint64, len(opts.Apps)),
+		tlpAccum:       make([]float64, len(opts.Apps)),
+	}
+
+	numApps := len(opts.Apps)
+	s.appCores = make([][]int, numApps)
+	s.appStreams = make([][]*kernel.WarpStream, numApps)
+	s.phaseSets = make([][]*kernel.Params, numApps)
+	s.phaseIdx = make([]int, numApps)
+	coreID := 0
+	for app, n := range opts.CoresPerApp {
+		base := &s.opts.Apps[app]
+		s.phaseSets[app] = append(s.phaseSets[app], base)
+		for i := range base.Phases {
+			s.phaseSets[app] = append(s.phaseSets[app], &base.Phases[i])
+		}
+		for k := 0; k < n; k++ {
+			streams := make([]*kernel.WarpStream, cfg.MaxWarpsPerCore)
+			for w := range streams {
+				globalWarp := (coreID-firstCore(opts.CoresPerApp, app))*cfg.MaxWarpsPerCore + w
+				streams[w] = kernel.NewWarpStream(base, app, globalWarp, cfg.L1.LineBytes)
+			}
+			s.appStreams[app] = append(s.appStreams[app], streams...)
+			c := gpu.NewCore(coreID, app, &cfg, streams, numApps)
+			if opts.VictimTags > 0 {
+				c.L1.EnableVictimTags(opts.VictimTags)
+			}
+			s.cores = append(s.cores, c)
+			s.appCores[app] = append(s.appCores[app], coreID)
+			coreID++
+		}
+	}
+
+	s.partitions = make([]*dram.Partition, cfg.NumMemPartitions)
+	for i := range s.partitions {
+		s.partitions[i] = dram.NewPartition(i, &cfg, numApps)
+		if opts.L2WayPartition != nil {
+			for app, mask := range opts.L2WayPartition {
+				if mask == nil {
+					continue
+				}
+				if err := s.partitions[i].L2.SetWayPartition(app, mask); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	s.toMem = icnt.New(cfg.NumMemPartitions, cfg.IcntLatency, cfg.IcntFlitSize, cfg.L1.LineBytes)
+	s.toCore = icnt.New(cfg.NumCores, cfg.IcntLatency, cfg.IcntFlitSize, cfg.L1.LineBytes)
+
+	s.curDecision = opts.Manager.Initial(numApps)
+	s.applyDecision(s.curDecision)
+	return s, nil
+}
+
+func firstCore(coresPerApp []int, app int) int {
+	sum := 0
+	for i := 0; i < app; i++ {
+		sum += coresPerApp[i]
+	}
+	return sum
+}
+
+// flushTLPAccum accrues TLP-cycles for every app up to the current cycle.
+func (s *Simulator) flushTLPAccum() {
+	if s.cycle <= s.lastTLPFlush {
+		return
+	}
+	span := float64(s.cycle - s.lastTLPFlush)
+	for app := range s.appCores {
+		s.tlpAccum[app] += span * float64(s.CurrentTLP(app))
+	}
+	s.lastTLPFlush = s.cycle
+}
+
+func (s *Simulator) applyDecision(d tlp.Decision) {
+	s.flushTLPAccum()
+	for app, cores := range s.appCores {
+		for _, ci := range cores {
+			if app < len(d.TLP) {
+				s.cores[ci].SetTLP(config.ClampToLevel(d.TLP[app]))
+			}
+			if d.BypassL1 != nil && app < len(d.BypassL1) {
+				s.cores[ci].SetBypassL1(d.BypassL1[app])
+			}
+		}
+	}
+	s.curDecision = d
+}
+
+// networkCap bounds the per-destination request backlog so saturated
+// partitions back-pressure through to the cores.
+const networkCap = 64
+
+// Run executes the configured number of cycles and returns the measured
+// result.
+func (s *Simulator) Run() Result {
+	windows := uint64(0)
+	nextWindow := s.opts.WindowCycles
+	for s.cycle = 0; s.cycle < s.opts.TotalCycles; s.cycle++ {
+		now := s.cycle
+
+		if s.pendDecision != nil && now >= s.pendAt {
+			s.applyDecision(*s.pendDecision)
+			s.pendDecision = nil
+		}
+		if now == s.opts.WarmupCycles {
+			s.warm = s.snapshot()
+		}
+
+		// Cores execute.
+		for _, c := range s.cores {
+			c.Tick(now)
+		}
+
+		// Core -> memory injection (one message at a time per core, with
+		// flit serialization at the source port).
+		for ci, c := range s.cores {
+			if now < s.coreInjectFree[ci] || c.PendingRequests() == 0 {
+				continue
+			}
+			// Peek destination via the queued head by popping only when
+			// the network has room.
+			req := c.PopRequest()
+			dst := s.cfg.PartitionOf(req.LineAddr)
+			if s.toMem.Pending(dst) >= networkCap {
+				// Put it back by re-queueing at the front is not possible;
+				// instead stall the whole port this cycle. To keep FIFO
+				// semantics we re-inject through a one-slot skid buffer.
+				s.pushBack(c, req)
+				continue
+			}
+			s.toMem.Push(dst, req, now)
+			s.coreInjectFree[ci] = now + uint64(req.Flits(s.cfg.IcntFlitSize, s.cfg.L1.LineBytes))
+		}
+
+		// Memory clock domain.
+		s.memAcc += s.cfg.MemCyclesPerCoreCycle()
+		for s.memAcc >= 1 {
+			s.memAcc--
+			for _, p := range s.partitions {
+				if p.CanAccept() {
+					if req := s.toMem.Pop(p.ID, now); req != nil {
+						p.Enqueue(req, s.memCycle)
+					}
+				}
+				p.Tick(s.memCycle)
+			}
+			s.memCycle++
+		}
+
+		// Partition -> core responses (flit-serialized at the source).
+		for pi, p := range s.partitions {
+			if now < s.partRespFree[pi] {
+				continue
+			}
+			if resp := p.PopResponse(); resp != nil {
+				s.toCore.Push(resp.Core, resp, now)
+				s.partRespFree[pi] = now + uint64(resp.Flits(s.cfg.IcntFlitSize, s.cfg.L1.LineBytes))
+			}
+		}
+
+		// Deliver responses.
+		for ci, c := range s.cores {
+			if resp := s.toCore.Pop(ci, now); resp != nil {
+				c.HandleFill(resp.LineAddr)
+			}
+		}
+
+		// Sampling window boundary.
+		if now+1 == nextWindow {
+			windows++
+			sample := s.buildSample(now + 1)
+			d := s.opts.Manager.OnSample(sample)
+			if !decisionsEqual(d, s.curDecision) {
+				dc := d.Clone()
+				s.pendDecision = &dc
+				s.pendAt = now + 1 + s.opts.DecisionDelay
+			}
+			if s.opts.OnWindow != nil {
+				s.opts.OnWindow(sample)
+			}
+			s.newWindow()
+			nextWindow += s.opts.WindowCycles
+		}
+	}
+	return s.result(windows)
+}
+
+func (s *Simulator) pushBack(c *gpu.Core, req *mem.Request) {
+	// The core's out-queue is FIFO-popped; restore the head. gpu.Core
+	// exposes only Pop, so the simulator keeps the skid entry itself by
+	// re-pushing through a tiny helper on the core.
+	c.RequeueFront(req)
+}
+
+func decisionsEqual(a, b tlp.Decision) bool {
+	if len(a.TLP) != len(b.TLP) {
+		return false
+	}
+	for i := range a.TLP {
+		if config.ClampToLevel(a.TLP[i]) != config.ClampToLevel(b.TLP[i]) {
+			return false
+		}
+	}
+	ab := func(d tlp.Decision, i int) bool {
+		return d.BypassL1 != nil && i < len(d.BypassL1) && d.BypassL1[i]
+	}
+	for i := range a.TLP {
+		if ab(a, i) != ab(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycle returns the current core cycle (testing hook).
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// CurrentTLP returns the TLP limit currently applied for app.
+func (s *Simulator) CurrentTLP(app int) int {
+	return s.cores[s.appCores[app][0]].TLP()
+}

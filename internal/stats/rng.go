@@ -1,0 +1,58 @@
+package stats
+
+// RNG is a small, fast, deterministic PRNG (xorshift64*) used by the
+// synthetic kernels. Every warp owns its own stream split from the
+// application seed so simulations are reproducible regardless of
+// scheduling order, and the simulator never touches math/rand global
+// state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero constant; xorshift has no zero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := &RNG{state: seed}
+	// Scramble the seed so nearby seeds do not produce nearby streams.
+	for i := 0; i < 4; i++ {
+		r.Uint64()
+	}
+	return r
+}
+
+// Split derives an independent child generator; the child stream is
+// decorrelated from the parent by mixing in the split index.
+func (r *RNG) Split(index uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (index+1)*0xBF58476D1CE4E5B9)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

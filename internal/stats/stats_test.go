@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGmean(t *testing.T) {
+	if g := Gmean([]float64{2, 8}); !almost(g, 4) {
+		t.Errorf("Gmean(2,8) = %v, want 4", g)
+	}
+	if g := Gmean(nil); g != 0 {
+		t.Errorf("Gmean(nil) = %v, want 0", g)
+	}
+	if g := Gmean([]float64{1, 0, 2}); g != 0 {
+		t.Errorf("Gmean with zero = %v, want 0", g)
+	}
+	if g := Gmean([]float64{3}); !almost(g, 3) {
+		t.Errorf("Gmean single = %v, want 3", g)
+	}
+}
+
+func TestMeansOrdering(t *testing.T) {
+	// HM <= GM <= AM for positive inputs.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		h, g, m := Hmean(xs), Gmean(xs), Mean(xs)
+		return h <= g+1e-9 && g <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHmean(t *testing.T) {
+	if h := Hmean([]float64{1, 1}); !almost(h, 1) {
+		t.Errorf("Hmean(1,1) = %v", h)
+	}
+	if h := Hmean([]float64{2, 2, 2}); !almost(h, 2) {
+		t.Errorf("Hmean(2,2,2) = %v", h)
+	}
+	if h := Hmean([]float64{0, 2}); h != 0 {
+		t.Errorf("Hmean with zero = %v, want 0", h)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+	if m := Median(xs); !almost(m, 3) {
+		t.Fatalf("Median odd = %v", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); !almost(m, 2.5) {
+		t.Fatalf("Median even = %v", m)
+	}
+	// Median must not mutate its input.
+	if !sort.Float64sAreSorted([]float64{1, 2, 3}) {
+		t.Fatal("sanity")
+	}
+	orig := []float64{5, 1, 3}
+	Median(orig)
+	if orig[0] != 5 || orig[1] != 1 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestRatioAndNormalize(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio wrong")
+	}
+	n := Normalize([]float64{2, 4}, 2)
+	if n[0] != 1 || n[1] != 2 {
+		t.Fatalf("Normalize = %v", n)
+	}
+	z := Normalize([]float64{2, 4}, 0)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Normalize by zero = %v", z)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(1.13); got != "+13.0%" {
+		t.Errorf("Percent(1.13) = %q", got)
+	}
+	if got := Percent(0.9); got != "-10.0%" {
+		t.Errorf("Percent(0.9) = %q", got)
+	}
+}
+
+func TestCounterWindows(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Inc()
+	if c.Total() != 6 || c.Window() != 6 {
+		t.Fatalf("total=%d window=%d", c.Total(), c.Window())
+	}
+	c.NewWindow()
+	if c.Window() != 0 || c.Total() != 6 {
+		t.Fatalf("after NewWindow: total=%d window=%d", c.Total(), c.Window())
+	}
+	c.Add(4)
+	if c.Window() != 4 || c.Total() != 10 {
+		t.Fatalf("second window: total=%d window=%d", c.Total(), c.Window())
+	}
+}
+
+func TestCounterWindowInvariant(t *testing.T) {
+	// Window() never exceeds Total(), regardless of operation order.
+	f := func(ops []uint8) bool {
+		var c Counter
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				c.Inc()
+			case 1:
+				c.Add(uint64(op))
+			case 2:
+				c.NewWindow()
+			}
+			if c.Window() > c.Total() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	var m MissRatio
+	if m.WindowRate() != 1 {
+		t.Fatalf("idle window rate = %v, want 1 (caches-not-useful convention)", m.WindowRate())
+	}
+	m.Record(true)
+	m.Record(false)
+	m.Record(false)
+	m.Record(false)
+	if r := m.WindowRate(); !almost(r, 0.25) {
+		t.Fatalf("window rate = %v, want 0.25", r)
+	}
+	m.NewWindow()
+	if m.WindowRate() != 1 {
+		t.Fatalf("fresh window rate = %v, want 1", m.WindowRate())
+	}
+	m.Record(true)
+	if r := m.TotalRate(); !almost(r, 2.0/5.0) {
+		t.Fatalf("total rate = %v, want 0.4", r)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a42 := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a42.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams collide %d/100 times", same)
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.22 || p > 0.28 {
+		t.Fatalf("Bool(0.25) frequency = %v", p)
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(13)
+	var buckets [10]int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10-n/50 || b > n/10+n/50 {
+			t.Fatalf("bucket %d heavily skewed: %d of %d", i, b, n)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package tlp
+
+import "ebm/internal/config"
+
+// CCWS implements a cache-conscious wavefront-scheduling-inspired baseline
+// (after Rogers et al.): each application watches its lost-locality signal
+// — the fraction of L1 misses whose tags are still in a small victim tag
+// array, i.e. lines that were recently evicted by the application's own
+// thrashing — and throttles its TLP when locality is being destroyed,
+// releasing warps again when locality recovers. Like DynCTA it is a
+// single-application heuristic with no view of co-runners' shared-resource
+// consumption, which is the gap the paper's PBS closes.
+//
+// The simulator's victim-tag detector must be enabled
+// (sim.Options.VictimTags > 0) for the VTARate signal to be non-zero;
+// otherwise CCWS degenerates to holding its initial TLP.
+type CCWS struct {
+	// HighVTA: above this lost-locality fraction the application is
+	// thrashing its own L1 and TLP is decreased.
+	HighVTA float64
+	// LowVTA / LowUtil: with locality healthy and issue slots idle, TLP
+	// is increased to hide more latency.
+	LowVTA  float64
+	LowUtil float64
+	// Hysteresis: consecutive agreeing windows before a move.
+	Hysteresis int
+
+	votes []int
+	cur   Decision
+}
+
+// NewCCWS returns the CCWS-style baseline with default thresholds.
+func NewCCWS() *CCWS {
+	return &CCWS{
+		HighVTA:    0.15,
+		LowVTA:     0.05,
+		LowUtil:    0.8,
+		Hysteresis: 2,
+	}
+}
+
+// Name implements Manager.
+func (c *CCWS) Name() string { return "++CCWS" }
+
+// Initial implements Manager: start from maxTLP and throttle on evidence,
+// which is CCWS's direction of travel (it reacts to detected thrashing).
+func (c *CCWS) Initial(numApps int) Decision {
+	c.votes = make([]int, numApps)
+	c.cur = NewDecision(numApps, config.MaxTLP)
+	return c.cur.Clone()
+}
+
+// OnSample implements Manager.
+func (c *CCWS) OnSample(s Sample) Decision {
+	if c.votes == nil {
+		c.Initial(len(s.Apps))
+	}
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		idx := config.LevelIndex(c.cur.TLP[i])
+		if idx < 0 {
+			idx = len(config.TLPLevels) - 1
+		}
+		switch {
+		case a.VTARate > c.HighVTA:
+			if c.votes[i] > 0 {
+				c.votes[i] = 0
+			}
+			c.votes[i]--
+		case a.VTARate < c.LowVTA && a.IssueUtil < c.LowUtil:
+			if c.votes[i] < 0 {
+				c.votes[i] = 0
+			}
+			c.votes[i]++
+		default:
+			c.votes[i] = 0
+		}
+		if c.votes[i] <= -c.Hysteresis && idx > 0 {
+			idx--
+			c.votes[i] = 0
+		} else if c.votes[i] >= c.Hysteresis && idx < len(config.TLPLevels)-1 {
+			idx++
+			c.votes[i] = 0
+		}
+		c.cur.TLP[i] = config.TLPLevels[idx]
+	}
+	return c.cur.Clone()
+}

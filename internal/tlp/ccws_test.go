@@ -1,0 +1,83 @@
+package tlp
+
+import (
+	"testing"
+
+	"ebm/internal/config"
+)
+
+func TestCCWSThrottlesOnLostLocality(t *testing.T) {
+	m := NewCCWS()
+	d := m.Initial(1)
+	if d.TLP[0] != config.MaxTLP {
+		t.Fatalf("CCWS starts at %d, want maxTLP", d.TLP[0])
+	}
+	for i := 0; i < 3*m.Hysteresis; i++ {
+		d = m.OnSample(sample(AppSample{VTARate: 0.4, IssueUtil: 0.9}))
+	}
+	if d.TLP[0] >= config.MaxTLP {
+		t.Fatalf("TLP %d did not drop under heavy lost locality", d.TLP[0])
+	}
+}
+
+func TestCCWSRecoversWarps(t *testing.T) {
+	m := NewCCWS()
+	m.Initial(1)
+	var d Decision
+	// Throttle hard first.
+	for i := 0; i < 20; i++ {
+		d = m.OnSample(sample(AppSample{VTARate: 0.9}))
+	}
+	low := d.TLP[0]
+	// Locality recovered and issue slots idle: release warps.
+	for i := 0; i < 3*m.Hysteresis; i++ {
+		d = m.OnSample(sample(AppSample{VTARate: 0.0, IssueUtil: 0.2}))
+	}
+	if d.TLP[0] <= low {
+		t.Fatalf("TLP stuck at %d after locality recovered", d.TLP[0])
+	}
+}
+
+func TestCCWSHoldsWhenHealthy(t *testing.T) {
+	m := NewCCWS()
+	d := m.Initial(1)
+	start := d.TLP[0]
+	for i := 0; i < 10; i++ {
+		d = m.OnSample(sample(AppSample{VTARate: 0.08, IssueUtil: 0.95}))
+	}
+	if d.TLP[0] != start {
+		t.Fatalf("CCWS moved from %d to %d in the healthy band", start, d.TLP[0])
+	}
+}
+
+func TestCCWSWithoutDetectorHolds(t *testing.T) {
+	// VTARate stays 0 when the victim-tag detector is off and the app is
+	// busy: CCWS must not oscillate.
+	m := NewCCWS()
+	d := m.Initial(1)
+	start := d.TLP[0]
+	for i := 0; i < 10; i++ {
+		d = m.OnSample(sample(AppSample{VTARate: 0, IssueUtil: 0.95}))
+	}
+	if d.TLP[0] != start {
+		t.Fatalf("CCWS drifted without a detector: %d -> %d", start, d.TLP[0])
+	}
+}
+
+func TestCCWSPerApp(t *testing.T) {
+	m := NewCCWS()
+	m.Initial(2)
+	var d Decision
+	for i := 0; i < 6; i++ {
+		d = m.OnSample(sample(
+			AppSample{App: 0, VTARate: 0.5},
+			AppSample{App: 1, VTARate: 0.0, IssueUtil: 0.9},
+		))
+	}
+	if d.TLP[0] >= d.TLP[1] {
+		t.Fatalf("apps not handled independently: %v", d.TLP)
+	}
+	if m.Name() != "++CCWS" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,85 @@
+package tlp
+
+import "ebm/internal/config"
+
+// DynCTA implements the per-application dynamic TLP modulation baseline in
+// the spirit of DynCTA (Kayiran et al.): each application independently
+// monitors its own latency-tolerance signals — how often the core sits
+// idle with warps blocked on memory, and how well the issue slots are
+// utilized — and nudges its own TLP up or down one level accordingly. The
+// defining property the paper criticizes is preserved: the heuristic uses
+// only the application's local signals and is oblivious to co-runners'
+// shared-resource consumption.
+type DynCTA struct {
+	// HighMemStall: above this fraction of memory-stalled idle cycles the
+	// application is deemed memory-saturated and TLP is decreased.
+	HighMemStall float64
+	// LowMemStall / LowUtil: below HighMemStall, if issue utilization is
+	// below LowUtil, more warps could help hide latency and TLP is
+	// increased.
+	LowMemStall float64
+	LowUtil     float64
+
+	// Hysteresis: consecutive windows agreeing before a move is made.
+	Hysteresis int
+
+	votes []int // + for up, - for down, per app
+	cur   Decision
+}
+
+// NewDynCTA returns the ++DynCTA policy with the default thresholds.
+func NewDynCTA() *DynCTA {
+	return &DynCTA{
+		HighMemStall: 0.5,
+		LowMemStall:  0.25,
+		LowUtil:      0.8,
+		Hysteresis:   2,
+	}
+}
+
+// Name implements Manager.
+func (d *DynCTA) Name() string { return "++DynCTA" }
+
+// Initial implements Manager: DynCTA starts from a mid TLP and adapts.
+func (d *DynCTA) Initial(numApps int) Decision {
+	d.votes = make([]int, numApps)
+	d.cur = NewDecision(numApps, config.TLPLevels[len(config.TLPLevels)/2])
+	return d.cur.Clone()
+}
+
+// OnSample implements Manager.
+func (d *DynCTA) OnSample(s Sample) Decision {
+	if d.votes == nil {
+		d.Initial(len(s.Apps))
+	}
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		idx := config.LevelIndex(d.cur.TLP[i])
+		if idx < 0 {
+			idx = len(config.TLPLevels) - 1
+		}
+		switch {
+		case a.MemStallFrac > d.HighMemStall:
+			if d.votes[i] > 0 {
+				d.votes[i] = 0
+			}
+			d.votes[i]--
+		case a.MemStallFrac < d.LowMemStall && a.IssueUtil < d.LowUtil:
+			if d.votes[i] < 0 {
+				d.votes[i] = 0
+			}
+			d.votes[i]++
+		default:
+			d.votes[i] = 0
+		}
+		if d.votes[i] <= -d.Hysteresis && idx > 0 {
+			idx--
+			d.votes[i] = 0
+		} else if d.votes[i] >= d.Hysteresis && idx < len(config.TLPLevels)-1 {
+			idx++
+			d.votes[i] = 0
+		}
+		d.cur.TLP[i] = config.TLPLevels[idx]
+	}
+	return d.cur.Clone()
+}

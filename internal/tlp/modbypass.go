@@ -1,0 +1,93 @@
+package tlp
+
+// ModBypass implements the Mod+Bypass comparison scheme: DynCTA-style TLP
+// modulation combined with L1 cache bypassing for applications that do not
+// benefit from the cache. Bypassing the cache-insensitive application
+// frees L1 (and, through reduced thrashing, L2) capacity for the
+// cache-sensitive co-runner, which is where the scheme's gains over plain
+// ++DynCTA come from. Like DynCTA it works from per-application local
+// signals and does not reason about aggregate bandwidth, which is the gap
+// the paper's PBS closes.
+type ModBypass struct {
+	mod *DynCTA
+
+	// BypassL1MR: an application whose L1 miss rate stays above this for
+	// Confirm consecutive windows is declared cache-insensitive and its
+	// L1 is bypassed. An application drops back below UnbypassL1MR (with
+	// the same confirmation count, measured on the shadow miss rate of
+	// accesses that would have hit) to re-enable the cache. Because the
+	// shadow rate is not observable once bypassing, re-enablement uses a
+	// periodic probe window instead.
+	BypassL1MR  float64
+	Confirm     int
+	ProbeEvery  int // windows between probation windows while bypassing
+	probeActive []bool
+
+	votes   []int
+	windows []int
+	cur     Decision
+}
+
+// NewModBypass returns the Mod+Bypass policy with default thresholds.
+func NewModBypass() *ModBypass {
+	return &ModBypass{
+		mod:        NewDynCTA(),
+		BypassL1MR: 0.95,
+		Confirm:    3,
+		ProbeEvery: 32,
+	}
+}
+
+// Name implements Manager.
+func (m *ModBypass) Name() string { return "Mod+Bypass" }
+
+// Initial implements Manager.
+func (m *ModBypass) Initial(numApps int) Decision {
+	m.votes = make([]int, numApps)
+	m.windows = make([]int, numApps)
+	m.probeActive = make([]bool, numApps)
+	m.cur = m.mod.Initial(numApps)
+	return m.cur.Clone()
+}
+
+// OnSample implements Manager.
+func (m *ModBypass) OnSample(s Sample) Decision {
+	if m.votes == nil {
+		m.Initial(len(s.Apps))
+	}
+	d := m.mod.OnSample(s)
+	if len(m.cur.BypassL1) != len(s.Apps) {
+		m.cur = NewDecision(len(s.Apps), 0)
+	}
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		m.windows[i]++
+		bypassing := m.cur.BypassL1[i]
+		switch {
+		case !bypassing:
+			if a.L1MR >= m.BypassL1MR {
+				m.votes[i]++
+			} else {
+				m.votes[i] = 0
+			}
+			if m.votes[i] >= m.Confirm {
+				m.cur.BypassL1[i] = true
+				m.votes[i] = 0
+			}
+		case m.probeActive[i]:
+			// Probation window just ran with the cache on; keep the cache
+			// if it proved useful, otherwise return to bypassing.
+			m.probeActive[i] = false
+			m.cur.BypassL1[i] = a.L1MR >= m.BypassL1MR
+		default:
+			if m.ProbeEvery > 0 && m.windows[i]%m.ProbeEvery == 0 {
+				// Run one window with the cache enabled to re-measure.
+				m.probeActive[i] = true
+				m.cur.BypassL1[i] = false
+			}
+		}
+	}
+	d.BypassL1 = append([]bool(nil), m.cur.BypassL1...)
+	m.cur.TLP = d.TLP
+	return d
+}

@@ -1,0 +1,136 @@
+// Package tlp defines the interface between the simulator's sampling
+// hardware and the TLP management policies, and implements the baseline
+// policies the paper compares against: static per-application TLP
+// (maxTLP, bestTLP and arbitrary combinations), DynCTA-style dynamic
+// modulation, and the Mod+Bypass scheme (TLP modulation plus L1 bypassing
+// for cache-insensitive applications).
+//
+// The paper's own mechanism (pattern-based searching over effective
+// bandwidth) lives in internal/core and implements Manager too.
+package tlp
+
+import (
+	"fmt"
+
+	"ebm/internal/config"
+)
+
+// AppSample is one application's telemetry for one sampling window, as
+// collected by the Fig. 8 hardware: L1 miss rate from a designated core,
+// L2 miss rate and attained bandwidth from a designated memory partition
+// (or machine-wide aggregates when designated sampling is disabled).
+type AppSample struct {
+	App    int
+	TLP    int // TLP limit in effect during the window
+	Bypass bool
+
+	Insts  uint64
+	Cycles uint64
+	IPC    float64
+
+	L1MR float64
+	L2MR float64
+	CMR  float64 // L1MR * L2MR
+	BW   float64 // attained DRAM bandwidth, fraction of peak
+	EB   float64 // BW / CMR
+
+	IssueUtil    float64 // fraction of issue slots used
+	MemStallFrac float64 // fraction of cycles idle with warps blocked on memory
+
+	// VTARate is the fraction of L1 misses that hit the victim tag array
+	// (lost intra-app locality); only populated when the simulator's
+	// victim-tag detector is enabled (CCWS baseline).
+	VTARate float64
+
+	KernelRelaunched bool // a kernel boundary was crossed in this window
+}
+
+// Sample is the telemetry for one sampling window across all applications.
+type Sample struct {
+	Cycle   uint64 // end-of-window core cycle
+	TotalBW float64
+	Apps    []AppSample
+}
+
+// Decision is a manager's requested configuration. Slices are indexed by
+// application.
+type Decision struct {
+	TLP      []int
+	BypassL1 []bool
+}
+
+// NewDecision returns a Decision with every app at tlp and no bypassing.
+func NewDecision(numApps, tlp int) Decision {
+	d := Decision{TLP: make([]int, numApps), BypassL1: make([]bool, numApps)}
+	for i := range d.TLP {
+		d.TLP[i] = tlp
+	}
+	return d
+}
+
+// Clone deep-copies the decision.
+func (d Decision) Clone() Decision {
+	return Decision{
+		TLP:      append([]int(nil), d.TLP...),
+		BypassL1: append([]bool(nil), d.BypassL1...),
+	}
+}
+
+// Manager is a TLP management policy driven by the sampling hardware.
+type Manager interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Initial returns the configuration to start executing with.
+	Initial(numApps int) Decision
+	// OnSample is invoked at the end of every sampling window and returns
+	// the configuration for the next window.
+	OnSample(s Sample) Decision
+}
+
+// Static runs every application at a fixed TLP combination for the whole
+// execution: it implements maxTLP, bestTLP, ++bestTLP, and the individual
+// combinations enumerated by the exhaustive searches.
+type Static struct {
+	name   string
+	tlps   []int
+	bypass []bool
+}
+
+// NewStatic builds a static policy. bypass may be nil.
+func NewStatic(name string, tlps []int, bypass []bool) *Static {
+	return &Static{name: name, tlps: tlps, bypass: bypass}
+}
+
+// NewMaxTLP returns the ++maxTLP policy for numApps applications.
+func NewMaxTLP(numApps int) *Static {
+	tlps := make([]int, numApps)
+	for i := range tlps {
+		tlps[i] = config.MaxTLP
+	}
+	return NewStatic("++maxTLP", tlps, nil)
+}
+
+// Name implements Manager.
+func (s *Static) Name() string { return s.name }
+
+// Initial implements Manager.
+func (s *Static) Initial(numApps int) Decision {
+	d := NewDecision(numApps, config.MaxTLP)
+	for i := 0; i < numApps && i < len(s.tlps); i++ {
+		d.TLP[i] = s.tlps[i]
+	}
+	if s.bypass != nil {
+		copy(d.BypassL1, s.bypass)
+	}
+	return d
+}
+
+// OnSample implements Manager: static policies never change.
+func (s *Static) OnSample(sm Sample) Decision {
+	return s.Initial(len(sm.Apps))
+}
+
+// String implements fmt.Stringer.
+func (s *Static) String() string {
+	return fmt.Sprintf("%s%v", s.name, s.tlps)
+}

@@ -1,0 +1,219 @@
+package tlp
+
+import (
+	"testing"
+
+	"ebm/internal/config"
+)
+
+func sample(apps ...AppSample) Sample {
+	return Sample{Cycle: 1000, Apps: apps}
+}
+
+func TestNewDecision(t *testing.T) {
+	d := NewDecision(3, 8)
+	if len(d.TLP) != 3 || len(d.BypassL1) != 3 {
+		t.Fatal("wrong shape")
+	}
+	for _, v := range d.TLP {
+		if v != 8 {
+			t.Fatal("wrong fill")
+		}
+	}
+}
+
+func TestDecisionClone(t *testing.T) {
+	d := NewDecision(2, 4)
+	c := d.Clone()
+	c.TLP[0] = 24
+	c.BypassL1[1] = true
+	if d.TLP[0] != 4 || d.BypassL1[1] {
+		t.Fatal("Clone aliased the original")
+	}
+}
+
+func TestStaticManager(t *testing.T) {
+	m := NewStatic("x", []int{2, 8}, []bool{true, false})
+	d := m.Initial(2)
+	if d.TLP[0] != 2 || d.TLP[1] != 8 || !d.BypassL1[0] || d.BypassL1[1] {
+		t.Fatalf("Initial = %+v", d)
+	}
+	d2 := m.OnSample(sample(AppSample{}, AppSample{}))
+	if d2.TLP[0] != 2 || d2.TLP[1] != 8 {
+		t.Fatal("static manager drifted")
+	}
+	if m.Name() != "x" {
+		t.Fatal("name")
+	}
+	if m.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestStaticShortTLPListDefaultsToMax(t *testing.T) {
+	m := NewStatic("x", []int{2}, nil)
+	d := m.Initial(3)
+	if d.TLP[0] != 2 || d.TLP[1] != config.MaxTLP || d.TLP[2] != config.MaxTLP {
+		t.Fatalf("short list handling: %v", d.TLP)
+	}
+}
+
+func TestMaxTLPManager(t *testing.T) {
+	m := NewMaxTLP(2)
+	d := m.Initial(2)
+	for _, v := range d.TLP {
+		if v != config.MaxTLP {
+			t.Fatal("maxTLP wrong")
+		}
+	}
+}
+
+func TestDynCTADecreasesOnMemStall(t *testing.T) {
+	m := NewDynCTA()
+	d := m.Initial(1)
+	start := d.TLP[0]
+	for i := 0; i < 2*m.Hysteresis; i++ {
+		d = m.OnSample(sample(AppSample{MemStallFrac: 0.9, IssueUtil: 0.1}))
+	}
+	if d.TLP[0] >= start {
+		t.Fatalf("TLP %d did not decrease from %d under heavy memory stall", d.TLP[0], start)
+	}
+}
+
+func TestDynCTAIncreasesWhenLatencyBound(t *testing.T) {
+	m := NewDynCTA()
+	d := m.Initial(1)
+	start := d.TLP[0]
+	for i := 0; i < 2*m.Hysteresis; i++ {
+		d = m.OnSample(sample(AppSample{MemStallFrac: 0.05, IssueUtil: 0.3}))
+	}
+	if d.TLP[0] <= start {
+		t.Fatalf("TLP %d did not increase from %d when under-utilized", d.TLP[0], start)
+	}
+}
+
+func TestDynCTAHoldsWhenHealthy(t *testing.T) {
+	m := NewDynCTA()
+	d := m.Initial(1)
+	start := d.TLP[0]
+	for i := 0; i < 10; i++ {
+		d = m.OnSample(sample(AppSample{MemStallFrac: 0.35, IssueUtil: 0.95}))
+	}
+	if d.TLP[0] != start {
+		t.Fatalf("TLP moved from %d to %d in the healthy band", start, d.TLP[0])
+	}
+}
+
+func TestDynCTAHysteresisBlocksSingleWindowNoise(t *testing.T) {
+	m := NewDynCTA()
+	d := m.Initial(1)
+	start := d.TLP[0]
+	// One noisy window, then healthy ones: no move.
+	d = m.OnSample(sample(AppSample{MemStallFrac: 0.9}))
+	d = m.OnSample(sample(AppSample{MemStallFrac: 0.3, IssueUtil: 0.9}))
+	d = m.OnSample(sample(AppSample{MemStallFrac: 0.3, IssueUtil: 0.9}))
+	if d.TLP[0] != start {
+		t.Fatalf("hysteresis failed: %d -> %d", start, d.TLP[0])
+	}
+}
+
+func TestDynCTAStaysOnLevels(t *testing.T) {
+	m := NewDynCTA()
+	m.Initial(1)
+	d := Decision{}
+	for i := 0; i < 50; i++ {
+		d = m.OnSample(sample(AppSample{MemStallFrac: 0.99}))
+	}
+	if config.LevelIndex(d.TLP[0]) == -1 {
+		t.Fatalf("DynCTA left the level set: %d", d.TLP[0])
+	}
+	if d.TLP[0] != config.TLPLevels[0] {
+		t.Fatalf("persistent stall should bottom out at %d, got %d", config.TLPLevels[0], d.TLP[0])
+	}
+}
+
+func TestDynCTAPerAppIndependence(t *testing.T) {
+	m := NewDynCTA()
+	m.Initial(2)
+	var d Decision
+	for i := 0; i < 6; i++ {
+		d = m.OnSample(sample(
+			AppSample{App: 0, MemStallFrac: 0.9},                  // down
+			AppSample{App: 1, MemStallFrac: 0.05, IssueUtil: 0.2}, // up
+		))
+	}
+	if d.TLP[0] >= d.TLP[1] {
+		t.Fatalf("apps not modulated independently: %v", d.TLP)
+	}
+}
+
+func TestModBypassEngagesOnHighL1MR(t *testing.T) {
+	m := NewModBypass()
+	m.Initial(2)
+	var d Decision
+	for i := 0; i < m.Confirm+1; i++ {
+		d = m.OnSample(sample(
+			AppSample{App: 0, L1MR: 0.99},
+			AppSample{App: 1, L1MR: 0.20},
+		))
+	}
+	if !d.BypassL1[0] {
+		t.Fatal("cache-insensitive app not bypassed")
+	}
+	if d.BypassL1[1] {
+		t.Fatal("cache-friendly app bypassed")
+	}
+}
+
+func TestModBypassNeedsConfirmation(t *testing.T) {
+	m := NewModBypass()
+	m.Initial(1)
+	d := m.OnSample(sample(AppSample{L1MR: 0.99}))
+	if d.BypassL1[0] {
+		t.Fatal("bypassed after a single window")
+	}
+}
+
+func TestModBypassProbeRestoresCache(t *testing.T) {
+	m := NewModBypass()
+	m.ProbeEvery = 4
+	m.Initial(1)
+	var d Decision
+	// Engage bypass.
+	for i := 0; i < m.Confirm; i++ {
+		d = m.OnSample(sample(AppSample{L1MR: 0.99}))
+	}
+	if !d.BypassL1[0] {
+		t.Fatal("not bypassed")
+	}
+	// Run until a probe window opens (cache re-enabled for one window).
+	probed := false
+	for i := 0; i < 3*m.ProbeEvery; i++ {
+		d = m.OnSample(sample(AppSample{L1MR: 0.99}))
+		if !d.BypassL1[0] {
+			probed = true
+			// During probation the app now shows a LOW miss rate:
+			// the cache must stay enabled.
+			d = m.OnSample(sample(AppSample{L1MR: 0.10}))
+			break
+		}
+	}
+	if !probed {
+		t.Fatal("no probation window opened")
+	}
+	if d.BypassL1[0] {
+		t.Fatal("probe ignored the recovered miss rate")
+	}
+}
+
+func TestModBypassKeepsModulating(t *testing.T) {
+	m := NewModBypass()
+	d := m.Initial(1)
+	start := d.TLP[0]
+	for i := 0; i < 8; i++ {
+		d = m.OnSample(sample(AppSample{L1MR: 0.99, MemStallFrac: 0.9}))
+	}
+	if d.TLP[0] >= start {
+		t.Fatal("Mod+Bypass lost the DynCTA modulation half")
+	}
+}

@@ -1,0 +1,162 @@
+// Package trace records per-window time series from a simulation run —
+// the data behind Fig. 11 (TLP choices over time under PBS) and any other
+// longitudinal view.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"ebm/internal/tlp"
+)
+
+// Point is one windowed observation.
+type Point struct {
+	Cycle uint64
+	Value float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends an observation.
+func (s *Series) Add(cycle uint64, v float64) {
+	s.Points = append(s.Points, Point{Cycle: cycle, Value: v})
+}
+
+// Recorder collects per-application TLP, EB, and bandwidth series from
+// sampling windows; Hook is installed as sim.Options.OnWindow.
+type Recorder struct {
+	TLP      []Series // per app
+	EB       []Series
+	BW       []Series
+	MetricEB Series  // total EB (EB-WS) per window
+	Relaunch []Point // kernel relaunch markers (Value = app index)
+	// Searching marks windows where the attached PBS manager was mid-
+	// search (the shaded regions of Fig. 11); set SearchingFn to feed it.
+	Searching   Series
+	SearchingFn func() bool
+}
+
+// NewRecorder builds a recorder for numApps applications.
+func NewRecorder(numApps int) *Recorder {
+	r := &Recorder{
+		TLP: make([]Series, numApps),
+		EB:  make([]Series, numApps),
+		BW:  make([]Series, numApps),
+	}
+	for i := 0; i < numApps; i++ {
+		r.TLP[i].Name = fmt.Sprintf("TLP-%d", i)
+		r.EB[i].Name = fmt.Sprintf("EB-%d", i)
+		r.BW[i].Name = fmt.Sprintf("BW-%d", i)
+	}
+	r.MetricEB.Name = "EB-WS"
+	r.Searching.Name = "searching"
+	return r
+}
+
+// Hook records one sampling window.
+func (r *Recorder) Hook(s tlp.Sample) {
+	total := 0.0
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		if i < len(r.TLP) {
+			r.TLP[i].Add(s.Cycle, float64(a.TLP))
+			r.EB[i].Add(s.Cycle, a.EB)
+			r.BW[i].Add(s.Cycle, a.BW)
+		}
+		total += a.EB
+		if a.KernelRelaunched {
+			r.Relaunch = append(r.Relaunch, Point{Cycle: s.Cycle, Value: float64(i)})
+		}
+	}
+	r.MetricEB.Add(s.Cycle, total)
+	if r.SearchingFn != nil {
+		v := 0.0
+		if r.SearchingFn() {
+			v = 1.0
+		}
+		r.Searching.Add(s.Cycle, v)
+	}
+}
+
+// WriteCSV emits the recorder's series as CSV: one row per sampling
+// window with cycle, per-app TLP/EB/BW columns, and the searching flag.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := []string{"cycle"}
+	for i := range r.TLP {
+		head = append(head,
+			fmt.Sprintf("tlp%d", i), fmt.Sprintf("eb%d", i), fmt.Sprintf("bw%d", i))
+	}
+	head = append(head, "ebws", "searching")
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	n := len(r.MetricEB.Points)
+	for k := 0; k < n; k++ {
+		row := []string{fmt.Sprint(r.MetricEB.Points[k].Cycle)}
+		for i := range r.TLP {
+			row = append(row,
+				fmt.Sprintf("%g", r.TLP[i].Points[k].Value),
+				fmt.Sprintf("%g", r.EB[i].Points[k].Value),
+				fmt.Sprintf("%g", r.BW[i].Points[k].Value))
+		}
+		row = append(row, fmt.Sprintf("%g", r.MetricEB.Points[k].Value))
+		searching := ""
+		if k < len(r.Searching.Points) {
+			searching = fmt.Sprintf("%g", r.Searching.Points[k].Value)
+		}
+		row = append(row, searching)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderASCII renders a series as a compact one-line-per-bucket text chart
+// (value bars), used by the figure regeneration binaries.
+func RenderASCII(s Series, buckets int, maxV float64) string {
+	if len(s.Points) == 0 || buckets <= 0 {
+		return ""
+	}
+	if maxV <= 0 {
+		for _, p := range s.Points {
+			if p.Value > maxV {
+				maxV = p.Value
+			}
+		}
+		if maxV == 0 {
+			maxV = 1
+		}
+	}
+	per := (len(s.Points) + buckets - 1) / buckets
+	var b strings.Builder
+	for i := 0; i < len(s.Points); i += per {
+		end := i + per
+		if end > len(s.Points) {
+			end = len(s.Points)
+		}
+		sum := 0.0
+		for _, p := range s.Points[i:end] {
+			sum += p.Value
+		}
+		avg := sum / float64(end-i)
+		bars := int(avg / maxV * 40)
+		if bars < 0 {
+			bars = 0
+		}
+		if bars > 40 {
+			bars = 40
+		}
+		fmt.Fprintf(&b, "%10d %7.2f %s\n", s.Points[i].Cycle, avg, strings.Repeat("#", bars))
+	}
+	return b.String()
+}

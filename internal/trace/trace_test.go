@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ebm/internal/tlp"
+)
+
+func TestRecorderCollectsSeries(t *testing.T) {
+	r := NewRecorder(2)
+	searching := true
+	r.SearchingFn = func() bool { return searching }
+	for w := 1; w <= 5; w++ {
+		if w == 4 {
+			searching = false
+		}
+		r.Hook(tlp.Sample{
+			Cycle: uint64(w * 1000),
+			Apps: []tlp.AppSample{
+				{App: 0, TLP: 8, EB: 0.5, BW: 0.2},
+				{App: 1, TLP: 4, EB: 0.3, BW: 0.1, KernelRelaunched: w == 3},
+			},
+		})
+	}
+	if len(r.TLP[0].Points) != 5 || len(r.EB[1].Points) != 5 {
+		t.Fatal("series lengths")
+	}
+	if r.TLP[0].Points[0].Value != 8 || r.TLP[1].Points[0].Value != 4 {
+		t.Fatal("TLP values")
+	}
+	if len(r.Relaunch) != 1 || r.Relaunch[0].Value != 1 {
+		t.Fatalf("relaunch markers %v", r.Relaunch)
+	}
+	if r.MetricEB.Points[0].Value != 0.8 {
+		t.Fatalf("EB-WS point = %v", r.MetricEB.Points[0].Value)
+	}
+	if r.Searching.Points[0].Value != 1 || r.Searching.Points[4].Value != 0 {
+		t.Fatal("searching series wrong")
+	}
+}
+
+func TestRecorderWithoutSearchingFn(t *testing.T) {
+	r := NewRecorder(1)
+	r.Hook(tlp.Sample{Apps: []tlp.AppSample{{TLP: 2}}})
+	if len(r.Searching.Points) != 0 {
+		t.Fatal("searching recorded without a source")
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Add(10, 1.5)
+	s.Add(20, 2.5)
+	if len(s.Points) != 2 || s.Points[1].Cycle != 20 {
+		t.Fatal("Add broken")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	var s Series
+	s.Name = "x"
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i*1000), float64(i%25))
+	}
+	out := RenderASCII(s, 10, 24)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d buckets, want 10", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "#") && !strings.HasSuffix(strings.TrimSpace(l), "0.00") {
+			t.Fatalf("bucket line without bars: %q", l)
+		}
+	}
+	if RenderASCII(Series{}, 10, 1) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	// Auto max.
+	if RenderASCII(s, 5, 0) == "" {
+		t.Fatal("auto-max render empty")
+	}
+}
+
+func TestRenderASCIIClampsBars(t *testing.T) {
+	var s Series
+	s.Add(0, 1e9) // way above max
+	out := RenderASCII(s, 1, 10)
+	if strings.Count(out, "#") > 40 {
+		t.Fatal("bar length not clamped")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(2)
+	searching := true
+	r.SearchingFn = func() bool { return searching }
+	for w := 1; w <= 3; w++ {
+		r.Hook(tlp.Sample{
+			Cycle: uint64(w * 1000),
+			Apps: []tlp.AppSample{
+				{App: 0, TLP: 8, EB: 0.5, BW: 0.2},
+				{App: 1, TLP: 4, EB: 0.3, BW: 0.1},
+			},
+		})
+	}
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d CSV lines, want header+3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "cycle,tlp0,eb0,bw0,tlp1,eb1,bw1,ebws,searching") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1000,8,0.5,0.2,4,0.3,0.1,0.8,1") {
+		t.Fatalf("row %q", lines[1])
+	}
+}

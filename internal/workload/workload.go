@@ -1,0 +1,164 @@
+// Package workload defines the multi-application workloads evaluated in
+// the paper: the ten representative two-application pairs whose panels
+// appear in Figs. 4, 9, and 10, the full 25-pair evaluation set, and the
+// three-application extension of Section VI-D.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ebm/internal/kernel"
+)
+
+// Workload is a named set of co-scheduled applications.
+type Workload struct {
+	Name string
+	Apps []kernel.Params
+}
+
+// Names returns the application names in order.
+func (w Workload) Names() []string {
+	out := make([]string, len(w.Apps))
+	for i, a := range w.Apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// make builds a workload from application names found in the kernel suite.
+func mk(names ...string) (Workload, error) {
+	w := Workload{Name: strings.Join(names, "_")}
+	for _, n := range names {
+		p, ok := kernel.ByName(n)
+		if !ok {
+			return Workload{}, fmt.Errorf("workload: unknown application %q", n)
+		}
+		w.Apps = append(w.Apps, p)
+	}
+	return w, nil
+}
+
+// MustMake builds a workload from suite application names, panicking on an
+// unknown name (construction-time configuration error).
+func MustMake(names ...string) Workload {
+	w, err := mk(names...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// representativePairs are the ten workloads the paper's per-workload
+// panels show (Figs. 4, 9, 10).
+var representativePairs = [][2]string{
+	{"DS", "TRD"},
+	{"BFS", "FFT"},
+	{"BLK", "BFS"},
+	{"BLK", "TRD"},
+	{"FFT", "TRD"},
+	{"FWT", "TRD"},
+	{"JPEG", "CFD"},
+	{"JPEG", "LIB"},
+	{"JPEG", "LUH"},
+	{"SCP", "TRD"},
+}
+
+// extraPairs complete the 25-workload evaluation set, chosen (like the
+// paper's) to mix applications across the EB groups so that shared-cache
+// and bandwidth interference actually manifests.
+var extraPairs = [][2]string{
+	{"BFS", "TRD"},
+	{"BFS", "GUPS"},
+	{"HS", "TRD"},
+	{"HS", "BLK"},
+	{"CONS", "TRD"},
+	{"CONS", "SCAN"},
+	{"CFD", "TRD"},
+	{"CFD", "BLK"},
+	{"SC", "RED"},
+	{"SC", "BLK"},
+	{"RAY", "TRD"},
+	{"RAY", "SCAN"},
+	{"LPS", "TRD"},
+	{"SRAD", "BFS"},
+	{"GUPS", "TRD"},
+}
+
+// Representative returns the ten panel workloads.
+func Representative() []Workload {
+	out := make([]Workload, len(representativePairs))
+	for i, p := range representativePairs {
+		out[i] = MustMake(p[0], p[1])
+	}
+	return out
+}
+
+// Evaluated returns the full 25-workload two-application set.
+func Evaluated() []Workload {
+	out := Representative()
+	for _, p := range extraPairs {
+		out = append(out, MustMake(p[0], p[1]))
+	}
+	return out
+}
+
+// ThreeApp returns the three-application workloads of the Section VI-D
+// scalability study.
+func ThreeApp() []Workload {
+	return []Workload{
+		MustMake("BLK", "BFS", "TRD"),
+		MustMake("JPEG", "CFD", "TRD"),
+		MustMake("BFS", "FFT", "SCAN"),
+		MustMake("HS", "CONS", "TRD"),
+	}
+}
+
+// ByName finds an evaluated workload (two- or three-app) by its
+// underscore-joined name, e.g. "BLK_TRD".
+func ByName(name string) (Workload, bool) {
+	for _, w := range append(Evaluated(), ThreeApp()...) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	// Fall back to constructing from arbitrary suite apps.
+	parts := strings.Split(name, "_")
+	if len(parts) >= 2 {
+		if w, err := mk(parts...); err == nil {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// UniqueApps returns the sorted set of application names appearing in the
+// given workloads.
+func UniqueApps(ws []Workload) []string {
+	set := map[string]bool{}
+	for _, w := range ws {
+		for _, a := range w.Apps {
+			set[a.Name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllPairs enumerates every unordered pair of distinct suite applications
+// (Fig. 5 is computed across all pairs).
+func AllPairs() []Workload {
+	names := kernel.Names()
+	var out []Workload
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			out = append(out, MustMake(names[i], names[j]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"ebm/internal/kernel"
+)
+
+func TestRepresentativeMatchesPaperPanels(t *testing.T) {
+	want := []string{
+		"DS_TRD", "BFS_FFT", "BLK_BFS", "BLK_TRD", "FFT_TRD",
+		"FWT_TRD", "JPEG_CFD", "JPEG_LIB", "JPEG_LUH", "SCP_TRD",
+	}
+	got := Representative()
+	if len(got) != len(want) {
+		t.Fatalf("%d representative workloads, want %d", len(got), len(want))
+	}
+	for i, w := range got {
+		if w.Name != want[i] {
+			t.Errorf("workload %d = %s, want %s", i, w.Name, want[i])
+		}
+		if len(w.Apps) != 2 {
+			t.Errorf("%s has %d apps", w.Name, len(w.Apps))
+		}
+	}
+}
+
+func TestEvaluatedSetSize(t *testing.T) {
+	ws := Evaluated()
+	if len(ws) != 25 {
+		t.Fatalf("%d evaluated workloads, want 25 (paper)", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Apps[0].Name == w.Apps[1].Name {
+			t.Fatalf("self-paired workload %s", w.Name)
+		}
+	}
+}
+
+func TestThreeApp(t *testing.T) {
+	for _, w := range ThreeApp() {
+		if len(w.Apps) != 3 {
+			t.Fatalf("%s has %d apps", w.Name, len(w.Apps))
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, ok := ByName("BLK_TRD")
+	if !ok || w.Apps[0].Name != "BLK" || w.Apps[1].Name != "TRD" {
+		t.Fatal("ByName evaluated workload failed")
+	}
+	// Arbitrary suite pairs are constructible even if not in the set.
+	w2, ok := ByName("GUPS_LUD")
+	if !ok || len(w2.Apps) != 2 {
+		t.Fatal("arbitrary pair not constructed")
+	}
+	// Three-app names resolve too.
+	w3, ok := ByName("BLK_BFS_TRD")
+	if !ok || len(w3.Apps) != 3 {
+		t.Fatal("three-app name not constructed")
+	}
+	if _, ok := ByName("NOPE_ALSO"); ok {
+		t.Fatal("unknown apps accepted")
+	}
+	if _, ok := ByName("JUSTONE"); ok {
+		t.Fatal("single name accepted")
+	}
+}
+
+func TestMustMakePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMake accepted an unknown app")
+		}
+	}()
+	MustMake("NOPE", "TRD")
+}
+
+func TestNames(t *testing.T) {
+	w := MustMake("BLK", "TRD")
+	n := w.Names()
+	if n[0] != "BLK" || n[1] != "TRD" {
+		t.Fatalf("Names = %v", n)
+	}
+}
+
+func TestUniqueApps(t *testing.T) {
+	apps := UniqueApps(Evaluated())
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a] {
+			t.Fatalf("duplicate %s", a)
+		}
+		seen[a] = true
+		if _, ok := kernel.ByName(a); !ok {
+			t.Fatalf("unknown app %s in workloads", a)
+		}
+	}
+	for i := 1; i < len(apps); i++ {
+		if apps[i-1] >= apps[i] {
+			t.Fatal("UniqueApps not sorted")
+		}
+	}
+	if len(apps) < 10 {
+		t.Fatalf("evaluation set spans only %d apps", len(apps))
+	}
+}
+
+func TestAllPairsCount(t *testing.T) {
+	n := len(kernel.Names())
+	want := n * (n - 1) / 2
+	if got := len(AllPairs()); got != want {
+		t.Fatalf("AllPairs = %d, want %d", got, want)
+	}
+}
+
+func TestEvaluatedWorkloadsUseSuiteApps(t *testing.T) {
+	for _, w := range append(Evaluated(), ThreeApp()...) {
+		for _, a := range w.Apps {
+			if _, ok := kernel.ByName(a.Name); !ok {
+				t.Errorf("workload %s references unknown app %s", w.Name, a.Name)
+			}
+			if err := a.Validate(); err != nil {
+				t.Errorf("workload %s app %s invalid: %v", w.Name, a.Name, err)
+			}
+		}
+	}
+}
