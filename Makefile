@@ -1,0 +1,32 @@
+# Developer entry points. The Go toolchain is the only dependency.
+
+GO ?= go
+
+.PHONY: all verify race bench test build
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: everything must compile, vet clean, and pass.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# race runs the short test suite under the race detector (the grid builder
+# and profiler are the only concurrent paths).
+race:
+	$(GO) test -race -short ./...
+
+# bench snapshots the substrate benchmarks into BENCH_*.json via
+# cmd/benchdiff; BENCH=BENCH_2.json picks the output file, and
+# OLD=BENCH_1.json additionally prints a comparison table.
+BENCH ?= BENCH_1.json
+OLD ?=
+bench:
+	$(GO) run ./cmd/benchdiff -out $(BENCH) $(if $(OLD),-old $(OLD))

@@ -1,0 +1,185 @@
+// Command benchdiff runs the repo's performance benchmarks and records
+// the results as JSON, so perf regressions show up as a reviewable diff.
+//
+// Usage:
+//
+//	benchdiff                         # run substrate benches, write BENCH_1.json
+//	benchdiff -out BENCH_2.json       # record a new snapshot
+//	benchdiff -old BENCH_1.json       # run, then print a comparison table
+//	benchdiff -bench 'CycleTick' -benchtime 500000x
+//
+// The default -bench selection covers the simulator substrate
+// (BenchmarkCycleTick, BenchmarkRequestPool, BenchmarkMSHRTable,
+// BenchmarkSimulatorCycles); pass your own regex for the full paper-panel
+// benches. See DESIGN.md's Performance section for how these snapshots
+// are used.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's recorded figures.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the JSON layout of a snapshot.
+type File struct {
+	Command    string  `json:"command"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "CycleTick|RequestPool|MSHRTable|SimulatorCycles", "benchmark regex passed to go test -bench")
+		pkgs      = flag.String("pkgs", "./...", "package pattern to benchmark")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (empty: default)")
+		count     = flag.Int("count", 1, "go test -count value")
+		out       = flag.String("out", "BENCH_1.json", "output JSON snapshot (empty disables)")
+		old       = flag.String("old", "", "previous snapshot to diff against")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkgs)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintln(os.Stderr, "benchdiff: go", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(buf.Bytes())
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	os.Stderr.Write(buf.Bytes())
+
+	benches := parse(buf.Bytes())
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines matched")
+		os.Exit(1)
+	}
+	snap := File{Command: "go " + strings.Join(args, " "), Benchmarks: benches}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: wrote %s (%d benchmarks)\n", *out, len(benches))
+	}
+
+	if *old != "" {
+		prev, err := load(*old)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		diff(os.Stdout, prev, snap)
+	}
+}
+
+// parse extracts benchmark result lines from go test output. A line looks
+// like:
+//
+//	BenchmarkCycleTick-8   300000   3434 ns/op   2 B/op   0 allocs/op
+//
+// Unknown units (e.g. custom ReportMetric values) are ignored.
+func parse(output []byte) []Bench {
+	var out []Bench
+	sc := bufio.NewScanner(bytes.NewReader(output))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		b := Bench{Name: name, Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(data, &f)
+	return f, err
+}
+
+// diff prints old-vs-new ns/op and allocs/op with percentage change.
+func diff(w *os.File, old, new File) {
+	byName := make(map[string]Bench, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-28s %12s %12s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, b := range new.Benchmarks {
+		o, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %12s %12.1f %8s %10s %10.1f %8s\n",
+				b.Name, "-", b.NsPerOp, "new", "-", b.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %12.1f %12.1f %7s%% %10.1f %10.1f %7s%%\n",
+			b.Name, o.NsPerOp, b.NsPerOp, pct(o.NsPerOp, b.NsPerOp),
+			o.AllocsPerOp, b.AllocsPerOp, pct(o.AllocsPerOp, b.AllocsPerOp))
+	}
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "+0.0"
+		}
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f", 100*(new-old)/old)
+}

@@ -10,12 +10,18 @@
 //
 // Schemes: besttlp, maxtlp, dyncta, modbypass, pbs-ws, pbs-fi, pbs-hs,
 // static (with -tlp).
+//
+// Performance diagnosis: -cpuprofile and -memprofile write pprof profiles
+// of the run (inspect with `go tool pprof`); see DESIGN.md's Performance
+// section for the benchmark workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -42,8 +48,11 @@ func main() {
 		cache   = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
 		verbose = flag.Bool("v", false, "print per-application details")
 		traceF  = flag.String("trace", "", "write per-window TLP/EB/BW time series to a CSV file")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
 	flag.Parse()
+	defer startProfiles(*cpuProf, *memProf)()
 
 	cfg := config.Default()
 
@@ -163,6 +172,40 @@ func main() {
 				"lat=%.0f memstall=%.2f util=%.2f avgTLP=%.1f kernels=%d\n",
 				a.L1MR, a.L2MR, a.CMR, a.BW, a.RowHitRate, a.AvgLatency,
 				a.MemStallFrac, a.IssueUtil, a.AvgTLP, a.Kernels)
+		}
+	}
+}
+
+// startProfiles starts a CPU profile and arranges a heap profile; the
+// returned func stops and writes them. Profiles are skipped on the error
+// paths that os.Exit (defers do not run there).
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ebsim:", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ebsim:", err)
+			}
+			f.Close()
 		}
 	}
 }

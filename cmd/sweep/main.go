@@ -7,13 +7,21 @@
 //	sweep -workload BLK_TRD
 //	sweep -workload BFS_FFT -grids ws,ebws,fi
 //	sweep -workload BFS_FFT -cycles 200000
+//
+// The grid's combinations run concurrently; -parallel bounds the worker
+// count (default: all CPUs, runtime.NumCPU). -cpuprofile/-memprofile write
+// pprof profiles of the build. Wall-clock time and simulations per second
+// are reported on stderr at exit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"ebm/internal/config"
 	"ebm/internal/kernel"
@@ -28,11 +36,48 @@ func main() {
 	var (
 		wlName = flag.String("workload", "BLK_TRD", "two-application workload, e.g. BLK_TRD")
 		grids  = flag.String("grids", "ws,ebws", "surfaces to print: ws,fi,hs,ebws,ebfi,it,bw")
-		cycles = flag.Uint64("cycles", 120_000, "cycles per combination")
-		warmup = flag.Uint64("warmup", 20_000, "warmup cycles")
-		cache  = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
+		cycles   = flag.Uint64("cycles", 120_000, "cycles per combination")
+		warmup   = flag.Uint64("warmup", 20_000, "warmup cycles")
+		cache    = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent grid simulations (default: all CPUs)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
 	flag.Parse()
+
+	start := time.Now()
+	sims := 0
+	defer func() {
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%.1f sims/s)\n",
+			sims, elapsed.Round(time.Millisecond), float64(sims)/elapsed.Seconds())
+	}()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	cfg := config.Default()
 	wl, ok := workload.ByName(*wlName)
@@ -53,11 +98,13 @@ func main() {
 
 	g, err := search.BuildGrid(wl.Apps, search.GridOptions{
 		Config: cfg, TotalCycles: *cycles, WarmupCycles: *warmup,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+	sims = len(g.Results)
 
 	surfaces := map[string]struct {
 		title string

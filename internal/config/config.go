@@ -131,6 +131,10 @@ type GPU struct {
 	// MSHRs per L1 cache: outstanding misses per core.
 	L1MSHRs int
 
+	// MSHRs per L2 slice: outstanding DRAM reads per memory partition.
+	// Zero selects the default of 64 (the seed simulator's fixed budget).
+	L2MSHRs int
+
 	// Interconnect: crossbar latency (core cycles) per direction and
 	// flit (packet) size in bytes.
 	IcntLatency  int
@@ -171,6 +175,7 @@ func Default() GPU {
 		L1HitLatency:     28,
 		L2HitLatency:     40,
 		L1MSHRs:          64,
+		L2MSHRs:          64,
 		IcntLatency:      8,
 		IcntFlitSize:     64,
 		NumMemPartitions: 8,

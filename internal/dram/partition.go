@@ -13,7 +13,6 @@
 package dram
 
 import (
-	"container/heap"
 	"fmt"
 
 	"ebm/internal/cache"
@@ -44,17 +43,48 @@ type event struct {
 	req  *mem.Request
 }
 
+// eventHeap is a binary min-heap on event.at. It is hand-rolled rather
+// than backed by container/heap because the interface{}-based API boxes
+// every pushed and popped event, which dominated the cycle path's heap
+// allocations; the sift order is identical to container/heap's, so the
+// pop order among equal timestamps — and therefore the simulation — is
+// unchanged.
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	for j := len(s) - 1; j > 0; {
+		parent := (j - 1) / 2
+		if s[j].at >= s[parent].at {
+			break
+		}
+		s[j], s[parent] = s[parent], s[j]
+		j = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].at < s[j].at {
+			j = j2
+		}
+		if s[j].at >= s[i].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	e := s[n]
+	s[n] = event{} // drop the *mem.Request reference
+	*h = s[:n]
 	return e
 }
 
@@ -78,9 +108,9 @@ type Partition struct {
 
 	inq      []*mem.Request // bounded input queue fed by the interconnect
 	inqCap   int
-	mshr     map[uint64][]*mem.Request // line -> read waiters in DRAM
-	mshrMax  int
-	dramQ    []*mem.Request // FR-FCFS queue
+	mshr     *mem.MSHRTable[*mem.Request] // line -> read waiters in DRAM
+	pool     *mem.Pool                    // request free list (nil: plain allocation)
+	dramQ    []*mem.Request               // FR-FCFS queue
 	dramQCap int
 
 	banks     []bank
@@ -116,13 +146,16 @@ func NewPartition(id int, cfg *config.GPU, numApps int) *Partition {
 	if l2LatMem == 0 {
 		l2LatMem = 1
 	}
+	l2MSHRs := cfg.L2MSHRs
+	if l2MSHRs <= 0 {
+		l2MSHRs = 64
+	}
 	p := &Partition{
 		ID:         id,
 		cfg:        cfg,
 		L2:         cache.New(cfg.L2, numApps),
 		inqCap:     32,
-		mshr:       make(map[uint64][]*mem.Request),
-		mshrMax:    64,
+		mshr:       mem.NewMSHRTable[*mem.Request](l2MSHRs),
 		dramQCap:   64,
 		banks:      make([]bank, cfg.BanksPerMC),
 		l2LatMem:   l2LatMem,
@@ -138,9 +171,25 @@ func NewPartition(id int, cfg *config.GPU, numApps int) *Partition {
 	return p
 }
 
+// SetPool attaches a request free list shared with the rest of the
+// machine. A nil pool (the default) allocates from and releases to the
+// garbage collector.
+func (p *Partition) SetPool(pool *mem.Pool) { p.pool = pool }
+
 // CanAccept reports whether the input queue has room for another request;
 // the simulator uses it for interconnect back-pressure.
 func (p *Partition) CanAccept() bool { return len(p.inq) < p.inqCap }
+
+// Quiescent reports whether Tick is a provable no-op this cycle: nothing
+// queued at the L2, nothing in flight to DRAM, no pending completion
+// events, and no refresh modeling (refresh fires on a wall-clock schedule
+// and must observe every cycle). The simulator skips ticking quiescent
+// partitions; no counters advance on an idle partition, so the skip is
+// exact.
+func (p *Partition) Quiescent() bool {
+	return len(p.inq) == 0 && len(p.dramQ) == 0 && len(p.events) == 0 &&
+		p.cfg.Timing.TREFI <= 0
+}
 
 // Enqueue places a request arriving from the interconnect into the input
 // queue at memory cycle now. The caller must have checked CanAccept.
@@ -228,7 +277,7 @@ func (p *Partition) maybeRefresh(now uint64) {
 // drainEvents retires every event due at or before now.
 func (p *Partition) drainEvents(now uint64) {
 	for len(p.events) > 0 && p.events[0].at <= now {
-		e := heap.Pop(&p.events).(event)
+		e := p.events.pop()
 		switch e.kind {
 		case evL2Hit:
 			e.req.Kind = mem.ReadReply
@@ -241,17 +290,17 @@ func (p *Partition) drainEvents(now uint64) {
 				// Write back the dirty victim; charged to its owner. The
 				// queue may transiently exceed its cap here — write-backs
 				// are internally generated and cannot be back-pressured.
-				p.dramQ = append(p.dramQ, &mem.Request{
-					Kind: mem.WriteReq, LineAddr: p.globalAddr(ev.LineAddr), App: ev.App,
-				})
+				wb := p.pool.Get()
+				wb.Kind, wb.LineAddr, wb.App = mem.WriteReq, p.globalAddr(ev.LineAddr), ev.App
+				p.dramQ = append(p.dramQ, wb)
 			}
 			p.Apps[app].LatencySum.Add(now - e.req.MemBorn)
-			waiters := p.mshr[line]
-			delete(p.mshr, line)
+			waiters := p.mshr.Remove(line)
 			for _, w := range waiters {
 				w.Kind = mem.ReadReply
 				p.resp = append(p.resp, w)
 			}
+			p.mshr.Release(waiters)
 		}
 	}
 }
@@ -271,6 +320,7 @@ func (p *Partition) acceptOne(now uint64) {
 		// not allocate and goes straight to DRAM.
 		if p.L2.WriteProbe(p.localAddr(req.LineAddr)) {
 			p.popInq()
+			p.pool.Put(req) // absorbed by the L2: the message is dead
 			return
 		}
 		if len(p.dramQ) >= p.dramQCap {
@@ -283,22 +333,21 @@ func (p *Partition) acceptOne(now uint64) {
 
 	// Read path: record the L2 access in the app's windowed stats.
 	if p.L2.Access(p.localAddr(req.LineAddr), app) {
-		heap.Push(&p.events, event{at: now + p.l2LatMem, kind: evL2Hit, req: req})
+		p.events.push(event{at: now + p.l2LatMem, kind: evL2Hit, req: req})
 		p.popInq()
 		return
 	}
 	// L2 miss: merge into an existing MSHR entry if one is in flight.
-	if waiters, ok := p.mshr[req.LineAddr]; ok {
-		p.mshr[req.LineAddr] = append(waiters, req)
+	if p.mshr.Append(req.LineAddr, req) {
 		p.popInq()
 		return
 	}
-	if len(p.mshr) >= p.mshrMax || len(p.dramQ) >= p.dramQCap {
+	if p.mshr.Full() || len(p.dramQ) >= p.dramQCap {
 		// Structural stall; the head request retries next cycle and
 		// back-pressure propagates to the interconnect.
 		return
 	}
-	p.mshr[req.LineAddr] = []*mem.Request{req}
+	p.mshr.Add(req.LineAddr, req)
 	p.dramQ = append(p.dramQ, req)
 	p.popInq()
 }
@@ -386,10 +435,11 @@ func (p *Partition) scheduleDRAM(now uint64) {
 	p.Apps[app].BWBytes.Add(uint64(p.cfg.L2.LineBytes))
 	if req.Kind == mem.WriteReq {
 		p.Apps[app].DRAMWrites.Inc()
-		return // fire and forget
+		p.pool.Put(req) // fire and forget: the burst retires the message
+		return
 	}
 	p.Apps[app].DRAMReads.Inc()
-	heap.Push(&p.events, event{at: dataEnd, kind: evDRAMRead, req: req})
+	p.events.push(event{at: dataEnd, kind: evDRAMRead, req: req})
 }
 
 // QueueDepth returns the current FR-FCFS queue occupancy (telemetry).
@@ -399,7 +449,7 @@ func (p *Partition) QueueDepth() int { return len(p.dramQ) }
 func (p *Partition) InputDepth() int { return len(p.inq) }
 
 // OutstandingMisses returns the number of distinct lines in flight to DRAM.
-func (p *Partition) OutstandingMisses() int { return len(p.mshr) }
+func (p *Partition) OutstandingMisses() int { return p.mshr.Len() }
 
 // NewWindow rolls every per-app counter (including the L2's) into a new
 // sampling window.
@@ -419,7 +469,7 @@ func (p *Partition) NewWindow() {
 // String summarizes the partition state for diagnostics.
 func (p *Partition) String() string {
 	return fmt.Sprintf("partition %d: inq=%d dramQ=%d mshr=%d resp=%d",
-		p.ID, len(p.inq), len(p.dramQ), len(p.mshr), len(p.resp))
+		p.ID, len(p.inq), len(p.dramQ), p.mshr.Len(), len(p.resp))
 }
 
 func maxU64(xs ...uint64) uint64 {

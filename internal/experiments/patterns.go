@@ -22,6 +22,7 @@ func Fig6(e *Env, w io.Writer) error {
 
 	fmt.Fprintf(w, "(a) EB-WS; rows = TLP-BLK, columns = TLP-TRD\n\n")
 	t := newTable(append([]string{"TLP-BLK\\TRD"}, levelHeaders(g.Levels)...)...)
+	var ebBuf []float64 // reused across the 64 grid cells
 	for _, t0 := range g.Levels {
 		cells := []string{fmt.Sprint(t0)}
 		for _, t1 := range g.Levels {
@@ -29,7 +30,8 @@ func Fig6(e *Env, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			cells = append(cells, fmt.Sprintf("%.3f", metrics.EBWS(r.EBs())))
+			ebBuf = r.EBsInto(ebBuf[:0])
+			cells = append(cells, fmt.Sprintf("%.3f", metrics.EBWS(ebBuf)))
 		}
 		t.row(cells...)
 	}
@@ -89,6 +91,7 @@ func Fig7(e *Env, w io.Writer) error {
 
 	fmt.Fprintf(w, "\n(c) EB-HS (scaled); rows = TLP-BLK\n\n")
 	th := newTable(append([]string{"TLP-BLK\\TRD"}, levelHeaders(g.Levels)...)...)
+	var ebBuf []float64 // reused across the 64 grid cells
 	for _, t0 := range g.Levels {
 		cells := []string{fmt.Sprint(t0)}
 		for _, t1 := range g.Levels {
@@ -96,7 +99,8 @@ func Fig7(e *Env, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			cells = append(cells, fmt.Sprintf("%.3f", metrics.EBHS(r.EBs(), aloneEB)))
+			ebBuf = r.EBsInto(ebBuf[:0])
+			cells = append(cells, fmt.Sprintf("%.3f", metrics.EBHS(ebBuf, aloneEB)))
 		}
 		th.row(cells...)
 	}

@@ -79,8 +79,8 @@ type Core struct {
 	scheds []scheduler
 	tlp    int // active warps per scheduler
 
-	mshr      map[uint64][]int // line -> core-local warp waiters
-	mshrMax   int
+	mshr      *mem.MSHRTable[int32] // line -> core-local warp waiters
+	pool      *mem.Pool             // request free list (nil: plain allocation)
 	outq      []*mem.Request
 	outqCap   int
 	wheel     [wheelSize][]int32 // wake lists; entry = core-local warp index
@@ -108,8 +108,7 @@ func NewCore(id, app int, cfg *config.GPU, streams []*kernel.WarpStream, numApps
 		cfg:     cfg,
 		L1:      cache.New(cfg.L1, numApps),
 		warps:   make([]warp, len(streams)),
-		mshr:    make(map[uint64][]int),
-		mshrMax: cfg.L1MSHRs,
+		mshr:    mem.NewMSHRTable[int32](cfg.L1MSHRs),
 		outqCap: 16,
 		tlp:     cfg.MaxTLPPerScheduler(),
 	}
@@ -145,6 +144,10 @@ func (c *Core) SetTLP(tlp int) {
 // TLP returns the current active-warp limit per scheduler.
 func (c *Core) TLP() int { return c.tlp }
 
+// SetPool attaches a request free list shared with the rest of the
+// machine. A nil pool (the default) allocates requests from the heap.
+func (c *Core) SetPool(p *mem.Pool) { c.pool = p }
+
 // SetBypassL1 enables or disables L1 bypassing for this core (used by the
 // Mod+Bypass baseline).
 func (c *Core) SetBypassL1(on bool) { c.bypassL1 = on }
@@ -179,7 +182,7 @@ func (c *Core) RequeueFront(r *mem.Request) {
 }
 
 // OutstandingMisses returns the number of distinct lines in flight.
-func (c *Core) OutstandingMisses() int { return len(c.mshr) }
+func (c *Core) OutstandingMisses() int { return c.mshr.Len() }
 
 // schedulerOf returns the scheduler owning core-local warp w and w's
 // scheduler-local index.
@@ -220,12 +223,12 @@ func (c *Core) HandleFill(lineAddr uint64) {
 	if !c.bypassL1 {
 		c.L1.Fill(lineAddr, c.App)
 	}
-	waiters, ok := c.mshr[lineAddr]
-	if !ok {
+	waiters := c.mshr.Remove(lineAddr)
+	if waiters == nil {
 		return
 	}
-	delete(c.mshr, lineAddr)
-	for _, w := range waiters {
+	for _, w32 := range waiters {
+		w := int(w32)
 		wp := &c.warps[w]
 		wp.pendingFills--
 		if wp.pendingFills <= 0 {
@@ -235,6 +238,7 @@ func (c *Core) HandleFill(lineAddr uint64) {
 			s.memWait &^= uint64(1) << li
 		}
 	}
+	c.mshr.Release(waiters)
 }
 
 // Tick advances the core by one cycle: wake-ups, then one issue attempt
@@ -313,9 +317,9 @@ func (c *Core) issue(s *scheduler, li int, now uint64) bool {
 			return false
 		}
 		for _, line := range inst.Lines {
-			c.outq = append(c.outq, &mem.Request{
-				Kind: mem.WriteReq, LineAddr: line, App: c.App, Core: c.ID, Born: now,
-			})
+			r := c.pool.Get()
+			r.Kind, r.LineAddr, r.App, r.Core, r.Born = mem.WriteReq, line, c.App, c.ID, now
+			c.outq = append(c.outq, r)
 		}
 		wp.stream.Advance()
 		c.Stats.InstRetired.Inc()
@@ -332,12 +336,12 @@ func (c *Core) issue(s *scheduler, li int, now uint64) bool {
 			continue
 		}
 		c.missBuf = append(c.missBuf, line)
-		if _, merged := c.mshr[line]; !merged && !containsLine(c.missBuf[:len(c.missBuf)-1], line) {
+		if !c.mshr.Contains(line) && !containsLine(c.missBuf[:len(c.missBuf)-1], line) {
 			newLines++
 		}
 	}
 	if newLines > 0 {
-		if len(c.mshr)+newLines > c.mshrMax || !c.CanInject(newLines) {
+		if c.mshr.Len()+newLines > c.mshr.Cap() || !c.CanInject(newLines) {
 			c.Stats.StallMSHR.Inc()
 			return false
 		}
@@ -356,9 +360,9 @@ func (c *Core) issue(s *scheduler, li int, now uint64) bool {
 		if hit {
 			continue
 		}
-		if waiters, ok := c.mshr[line]; ok {
-			if !intsContain(waiters, w) {
-				c.mshr[line] = append(waiters, w)
+		if waiters := c.mshr.Waiters(line); waiters != nil {
+			if !waitersContain(waiters, int32(w)) {
+				c.mshr.Append(line, int32(w))
 				fills++
 			} else {
 				// The same warp already waits on this line (duplicate line
@@ -366,11 +370,11 @@ func (c *Core) issue(s *scheduler, li int, now uint64) bool {
 			}
 			continue
 		}
-		c.mshr[line] = []int{w}
+		c.mshr.Add(line, int32(w))
 		fills++
-		c.outq = append(c.outq, &mem.Request{
-			Kind: mem.ReadReq, LineAddr: line, App: c.App, Core: c.ID, Born: now,
-		})
+		r := c.pool.Get()
+		r.Kind, r.LineAddr, r.App, r.Core, r.Born = mem.ReadReq, line, c.App, c.ID, now
+		c.outq = append(c.outq, r)
 	}
 
 	wp.stream.Advance()
@@ -405,13 +409,54 @@ func containsLine(lines []uint64, line uint64) bool {
 	return false
 }
 
-func intsContain(xs []int, x int) bool {
+func waitersContain(xs []int32, x int32) bool {
 	for _, v := range xs {
 		if v == x {
 			return true
 		}
 	}
 	return false
+}
+
+// Quiescent reports whether Tick is a provable no-op until an external
+// event touches the core: no scheduled wake-ups and no issuable warp under
+// the current TLP limit. Only a fill delivery (HandleFill) or a TLP/bypass
+// change can end quiescence, so the simulator may fast-forward the core,
+// crediting the skipped cycles through CreditIdle.
+func (c *Core) Quiescent() bool {
+	if c.wheelBusy > 0 {
+		return false
+	}
+	for si := range c.scheds {
+		s := &c.scheds[si]
+		if s.readyMask&s.activeMask(c.tlp) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveMemWait reports whether any warp inside the active TLP window is
+// blocked on memory. During a quiescent span this predicate is invariant,
+// so the simulator samples it once when the core goes quiet.
+func (c *Core) ActiveMemWait() bool {
+	for si := range c.scheds {
+		s := &c.scheds[si]
+		if s.memWait&s.activeMask(c.tlp) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CreditIdle accounts n fast-forwarded cycles exactly as n quiescent Tick
+// calls would have: each is an idle cycle, and a memory stall when an
+// active warp was blocked on a fill.
+func (c *Core) CreditIdle(n uint64, memWait bool) {
+	c.Stats.IdleCycles.Add(n)
+	if memWait {
+		c.Stats.MemStall.Add(n)
+	}
 }
 
 // NewWindow starts a new sampling window on the core and L1 counters.

@@ -1,0 +1,86 @@
+package mem
+
+// poisonKind marks a Request that is sitting in a Pool's free list. No live
+// message ever carries this kind, so stale aliases into recycled requests
+// (and double recycles) are detectable instead of silently corrupting an
+// unrelated transaction.
+const poisonKind Kind = 0xEE
+
+// Pool is a free list of Request objects. The per-cycle simulation path
+// allocates one Request per L1 miss and per store; recycling them through a
+// pool keeps the hot loop allocation-free once the in-flight population has
+// been built up.
+//
+// A Pool is intentionally not safe for concurrent use: one simulator owns
+// one pool, and a simulation runs on a single goroutine (the grid search
+// parallelizes across simulators, each with its own pool). A nil *Pool is
+// valid and falls back to plain heap allocation, which keeps unit tests and
+// external users of gpu/dram working without wiring a pool.
+type Pool struct {
+	free []*Request
+
+	// Telemetry for tests and benchmarks.
+	allocs   uint64 // Gets served by the heap (free list empty)
+	recycles uint64 // Puts accepted into the free list
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed Request, reusing a recycled one when available.
+func (p *Pool) Get() *Request {
+	if p == nil {
+		return new(Request)
+	}
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*r = Request{}
+		return r
+	}
+	p.allocs++
+	return new(Request)
+}
+
+// Put recycles a completed request. The request must not be referenced by
+// any queue, MSHR, or network after Put; its fields are poisoned so stale
+// aliases are caught by the recycle guard rather than reading plausible
+// data. Put panics if the same request is recycled twice without an
+// intervening Get.
+func (p *Pool) Put(r *Request) {
+	if p == nil || r == nil {
+		return
+	}
+	if r.Kind == poisonKind {
+		panic("mem: Request recycled twice")
+	}
+	*r = Request{Kind: poisonKind, LineAddr: ^uint64(0)}
+	p.recycles++
+	p.free = append(p.free, r)
+}
+
+// FreeLen returns the current free-list depth (telemetry).
+func (p *Pool) FreeLen() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}
+
+// HeapAllocs returns how many Gets were served by the heap rather than the
+// free list; a steady-state cycle loop should stop growing this.
+func (p *Pool) HeapAllocs() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.allocs
+}
+
+// Recycles returns how many requests have been returned via Put.
+func (p *Pool) Recycles() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.recycles
+}

@@ -1,0 +1,119 @@
+package mem
+
+import "testing"
+
+func TestPoolGetReturnsZeroedRequest(t *testing.T) {
+	p := NewPool()
+	r := p.Get()
+	if *r != (Request{}) {
+		t.Fatalf("fresh Get returned %+v, want zero value", *r)
+	}
+	r.Kind = ReadReply
+	r.LineAddr = 0xdeadbeef
+	r.App = 3
+	r.Core = 7
+	r.Born = 42
+	r.MemBorn = 99
+	p.Put(r)
+	got := p.Get()
+	if got != r {
+		t.Fatal("pool did not recycle the freed request")
+	}
+	if *got != (Request{}) {
+		t.Fatalf("recycled Get returned %+v, want zero value (no field leaks)", *got)
+	}
+}
+
+func TestPoolPoisonsRecycledRequests(t *testing.T) {
+	p := NewPool()
+	r := p.Get()
+	r.Kind = ReadReq
+	r.LineAddr = 128
+	p.Put(r)
+	// A stale alias into a recycled request must observe poison, not the
+	// old (plausible) transaction fields.
+	if r.Kind != poisonKind || r.LineAddr != ^uint64(0) {
+		t.Fatalf("recycled request holds %+v, want poisoned fields", *r)
+	}
+}
+
+func TestPoolDoubleRecyclePanics(t *testing.T) {
+	p := NewPool()
+	r := p.Get()
+	p.Put(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	p.Put(r)
+}
+
+func TestPoolLIFOAndCounters(t *testing.T) {
+	p := NewPool()
+	a, b := p.Get(), p.Get()
+	if p.HeapAllocs() != 2 {
+		t.Fatalf("heap allocs = %d, want 2", p.HeapAllocs())
+	}
+	p.Put(a)
+	p.Put(b)
+	if p.FreeLen() != 2 || p.Recycles() != 2 {
+		t.Fatalf("free=%d recycles=%d, want 2/2", p.FreeLen(), p.Recycles())
+	}
+	if p.Get() != b || p.Get() != a {
+		t.Fatal("pool is not LIFO (recently freed requests are cache-hot)")
+	}
+	if p.HeapAllocs() != 2 {
+		t.Fatalf("recycled Gets hit the heap: allocs = %d", p.HeapAllocs())
+	}
+}
+
+func TestNilPoolFallsBackToHeap(t *testing.T) {
+	var p *Pool
+	r := p.Get()
+	if r == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	p.Put(r) // must not panic
+	if p.FreeLen() != 0 || p.HeapAllocs() != 0 || p.Recycles() != 0 {
+		t.Fatal("nil pool telemetry not zero")
+	}
+}
+
+// TestPoolSteadyStateAllocFree is the allocation assertion for the pool:
+// once warmed, a Get/Put cycle performs zero heap allocations.
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 64; i++ { // warm the free list and its backing array
+		p.Put(p.Get())
+		// Put poisons; Get un-poisons, so interleave strictly.
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		r := p.Get()
+		r.Kind = ReadReq
+		p.Put(r)
+	}); avg != 0 {
+		t.Fatalf("steady-state Get/Put allocates %v objects per op, want 0", avg)
+	}
+}
+
+func BenchmarkRequestPool(b *testing.B) {
+	p := NewPool()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := p.Get()
+		r.Kind = ReadReq
+		r.LineAddr = uint64(i) * 128
+		p.Put(r)
+	}
+}
+
+// BenchmarkRequestHeapAlloc is the baseline the pool is measured against.
+func BenchmarkRequestHeapAlloc(b *testing.B) {
+	b.ReportAllocs()
+	var sink *Request
+	for i := 0; i < b.N; i++ {
+		sink = &Request{Kind: ReadReq, LineAddr: uint64(i) * 128}
+	}
+	_ = sink
+}

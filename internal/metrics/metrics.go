@@ -22,17 +22,22 @@ const cmrFloor = 1e-2
 // alone IPCs must come from each application running by itself on the same
 // core set at its bestTLP (the paper's definition).
 func Slowdowns(sharedIPC, aloneIPC []float64) ([]float64, error) {
+	return SlowdownsInto(nil, sharedIPC, aloneIPC)
+}
+
+// SlowdownsInto appends per-application slowdowns to dst (pass dst[:0] to
+// reuse a buffer across grid cells) and returns the extended slice.
+func SlowdownsInto(dst, sharedIPC, aloneIPC []float64) ([]float64, error) {
 	if len(sharedIPC) != len(aloneIPC) {
 		return nil, fmt.Errorf("metrics: %d shared IPCs vs %d alone IPCs", len(sharedIPC), len(aloneIPC))
 	}
-	sd := make([]float64, len(sharedIPC))
 	for i := range sharedIPC {
 		if aloneIPC[i] <= 0 {
 			return nil, fmt.Errorf("metrics: alone IPC of app %d is %v", i, aloneIPC[i])
 		}
-		sd[i] = sharedIPC[i] / aloneIPC[i]
+		dst = append(dst, sharedIPC[i]/aloneIPC[i])
 	}
-	return sd, nil
+	return dst, nil
 }
 
 // WS is the Weighted Speedup: the sum of slowdowns. Its maximum is the

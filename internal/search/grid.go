@@ -36,6 +36,8 @@ type Grid struct {
 	Apps    []kernel.Params
 	Levels  []int
 	Results []sim.Result // flat, row-major: index = Σ levelIdx[i] * |levels|^i
+
+	combos [][]int // lazily built Combos cache
 }
 
 // Index converts per-app level indices into the flat grid index.
@@ -63,8 +65,14 @@ func (g *Grid) At(tlps []int) (sim.Result, error) {
 	return g.Results[g.Index(li)], nil
 }
 
-// Combos returns every TLP combination in flat-index order.
+// Combos returns every TLP combination in flat-index order. The slice is
+// built once and cached (evaluation loops call this per search); callers
+// must treat it as read-only. The first call is not concurrency-safe, but
+// BuildGrid populates the cache before handing the grid out.
 func (g *Grid) Combos() [][]int {
+	if g.combos != nil {
+		return g.combos
+	}
 	n := len(g.Apps)
 	total := 1
 	for i := 0; i < n; i++ {
@@ -80,6 +88,7 @@ func (g *Grid) Combos() [][]int {
 		}
 		out[idx] = c
 	}
+	g.combos = out
 	return out
 }
 
@@ -159,31 +168,43 @@ func runCombo(apps []kernel.Params, tlps []int, opts GridOptions) (sim.Result, e
 	return s.Run(), nil
 }
 
-// Eval is how a grid cell scores under some figure of merit.
+// Eval is how a grid cell scores under some figure of merit. The closures
+// built by SDEval/EBEval/ITEval reuse captured scratch buffers across
+// calls, so a single Eval value must not be invoked concurrently; build
+// one evaluator per goroutine instead.
 type Eval func(r sim.Result) float64
 
 // SDEval builds an evaluator for a slowdown-based objective given the
 // per-app alone IPCs (at bestTLP).
 func SDEval(obj metrics.Objective, aloneIPC []float64) Eval {
+	var ipcBuf, sdBuf []float64
 	return func(r sim.Result) float64 {
-		sd, err := metrics.Slowdowns(r.IPCs(), aloneIPC)
+		ipcBuf = r.IPCsInto(ipcBuf[:0])
+		var err error
+		sdBuf, err = metrics.SlowdownsInto(sdBuf[:0], ipcBuf, aloneIPC)
 		if err != nil {
 			return 0
 		}
-		return obj.SDMetric(sd)
+		return obj.SDMetric(sdBuf)
 	}
 }
 
 // EBEval builds an evaluator for an EB-based objective; scale may be nil.
 func EBEval(obj metrics.Objective, scale []float64) Eval {
+	var ebBuf []float64
 	return func(r sim.Result) float64 {
-		return obj.EBMetric(r.EBs(), scale)
+		ebBuf = r.EBsInto(ebBuf[:0])
+		return obj.EBMetric(ebBuf, scale)
 	}
 }
 
 // ITEval evaluates raw instruction throughput (Observation 2).
 func ITEval() Eval {
-	return func(r sim.Result) float64 { return metrics.IT(r.IPCs()) }
+	var ipcBuf []float64
+	return func(r sim.Result) float64 {
+		ipcBuf = r.IPCsInto(ipcBuf[:0])
+		return metrics.IT(ipcBuf)
+	}
 }
 
 // Best exhaustively finds the combination maximizing eval. It returns the

@@ -1,0 +1,76 @@
+package sim_test
+
+import (
+	"runtime"
+	"testing"
+
+	"ebm/internal/config"
+	"ebm/internal/sim"
+	"ebm/internal/workload"
+)
+
+// BenchmarkCycleTick measures the per-cycle cost of the full machine:
+// b.N simulated core cycles of a two-application workload, so ns/op is
+// nanoseconds per simulated cycle and allocs/op is the cycle-path
+// allocation rate the request pool and MSHR tables are meant to hold
+// near zero.
+func BenchmarkCycleTick(b *testing.B) {
+	wl := workload.MustMake("BLK", "BFS")
+	s, err := sim.New(sim.Options{
+		Config:       config.Default(),
+		Apps:         wl.Apps,
+		TotalCycles:  uint64(b.N),
+		WindowCycles: 2_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+}
+
+// measureRunMallocs returns the heap allocation count of one Run of the
+// given length (simulator construction excluded).
+func measureRunMallocs(t *testing.T, cycles uint64) uint64 {
+	t.Helper()
+	wl := workload.MustMake("BLK", "BFS")
+	s, err := sim.New(sim.Options{
+		Config:       config.Default(),
+		Apps:         wl.Apps,
+		TotalCycles:  cycles,
+		WindowCycles: 2_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	s.Run()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs
+}
+
+// TestCyclePathSteadyStateAllocs asserts the steady-state cycle path is
+// allocation-free up to a small slack: the extra allocations of a 3x
+// longer run over a shorter one (which cancels one-time warm-up growth of
+// pools, queues and window buffers) must stay under a fraction of an
+// object per simulated cycle. Before pooling, every L1 miss and DRAM
+// reply allocated, putting this well above 1 per cycle.
+func TestCyclePathSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not -short friendly")
+	}
+	short := measureRunMallocs(t, 20_000)
+	long := measureRunMallocs(t, 60_000)
+	var extra uint64
+	if long > short {
+		extra = long - short
+	}
+	perKCycle := float64(extra) / 40.0
+	t.Logf("steady-state allocations: %.1f per 1000 cycles (short=%d long=%d)", perKCycle, short, long)
+	if perKCycle > 50 {
+		t.Errorf("cycle path allocates %.1f objects per 1000 cycles, want <= 50", perKCycle)
+	}
+}

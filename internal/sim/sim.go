@@ -64,7 +64,10 @@ type Options struct {
 	VictimTags int
 
 	// OnWindow, when non-nil, observes every sampling window after the
-	// manager has seen it (tracing, Fig. 11).
+	// manager has seen it (tracing, Fig. 11). The Sample's Apps slice is
+	// reused between windows to keep the cycle path allocation-free: copy
+	// it if the hook retains telemetry beyond the call (the managers and
+	// the trace recorder copy scalar fields, so they are unaffected).
 	OnWindow func(tlp.Sample)
 }
 
@@ -151,22 +154,30 @@ type Result struct {
 	Windows uint64
 }
 
-// IPCs returns the per-app IPC vector.
-func (r Result) IPCs() []float64 {
-	out := make([]float64, len(r.Apps))
-	for i, a := range r.Apps {
-		out[i] = a.IPC
+// IPCs returns the per-app IPC vector in a fresh slice. Hot reporting
+// loops (grid evaluation) should use IPCsInto with a reused buffer.
+func (r Result) IPCs() []float64 { return r.IPCsInto(nil) }
+
+// IPCsInto appends the per-app IPC vector to dst (pass dst[:0] to reuse a
+// buffer) and returns the extended slice.
+func (r Result) IPCsInto(dst []float64) []float64 {
+	for _, a := range r.Apps {
+		dst = append(dst, a.IPC)
 	}
-	return out
+	return dst
 }
 
-// EBs returns the per-app effective bandwidth vector.
-func (r Result) EBs() []float64 {
-	out := make([]float64, len(r.Apps))
-	for i, a := range r.Apps {
-		out[i] = a.EB
+// EBs returns the per-app effective bandwidth vector in a fresh slice.
+// Hot reporting loops should use EBsInto with a reused buffer.
+func (r Result) EBs() []float64 { return r.EBsInto(nil) }
+
+// EBsInto appends the per-app effective bandwidth vector to dst (pass
+// dst[:0] to reuse a buffer) and returns the extended slice.
+func (r Result) EBsInto(dst []float64) []float64 {
+	for _, a := range r.Apps {
+		dst = append(dst, a.EB)
 	}
-	return out
+	return dst
 }
 
 type appSnapshot struct {
@@ -201,6 +212,18 @@ type Simulator struct {
 	coreInjectFree []uint64
 	partRespFree   []uint64
 
+	// pool recycles mem.Request objects machine-wide; one pool per
+	// simulator, touched only by the (single-goroutine) cycle loop.
+	pool *mem.Pool
+
+	// Idle fast-forward state: a quiescent core (no issuable warp, no
+	// scheduled wake-up) is not ticked; the cycles it would have spent
+	// idling are credited in bulk when an external event (fill delivery,
+	// TLP decision, window boundary, snapshot) next touches it.
+	coreQuiet    []bool
+	quietFrom    []uint64 // first skipped cycle
+	quietMemWait []bool   // ActiveMemWait sampled at quiescence entry
+
 	cycle    uint64
 	memCycle uint64
 	memAcc   float64
@@ -216,7 +239,9 @@ type Simulator struct {
 	lastTLPFlush uint64
 
 	warm  []appSnapshot // snapshot at warmup
-	accum []appSnapshot // running totals helper reused per call
+	accum []appSnapshot // end-of-run snapshot buffer, reused
+
+	sampleApps []tlp.AppSample // per-window telemetry buffer, reused
 }
 
 // New builds a simulator; Options are validated and defaulted.
@@ -230,6 +255,10 @@ func New(opts Options) (*Simulator, error) {
 		cfg:            &cfg,
 		coreInjectFree: make([]uint64, cfg.NumCores),
 		partRespFree:   make([]uint64, cfg.NumMemPartitions),
+		pool:           mem.NewPool(),
+		coreQuiet:      make([]bool, cfg.NumCores),
+		quietFrom:      make([]uint64, cfg.NumCores),
+		quietMemWait:   make([]bool, cfg.NumCores),
 		instAtLaunch:   make([]uint64, len(opts.Apps)),
 		kernels:        make([]uint64, len(opts.Apps)),
 		tlpAccum:       make([]float64, len(opts.Apps)),
@@ -255,6 +284,7 @@ func New(opts Options) (*Simulator, error) {
 			}
 			s.appStreams[app] = append(s.appStreams[app], streams...)
 			c := gpu.NewCore(coreID, app, &cfg, streams, numApps)
+			c.SetPool(s.pool)
 			if opts.VictimTags > 0 {
 				c.L1.EnableVictimTags(opts.VictimTags)
 			}
@@ -267,6 +297,7 @@ func New(opts Options) (*Simulator, error) {
 	s.partitions = make([]*dram.Partition, cfg.NumMemPartitions)
 	for i := range s.partitions {
 		s.partitions[i] = dram.NewPartition(i, &cfg, numApps)
+		s.partitions[i].SetPool(s.pool)
 		if opts.L2WayPartition != nil {
 			for app, mask := range opts.L2WayPartition {
 				if mask == nil {
@@ -307,7 +338,36 @@ func (s *Simulator) flushTLPAccum() {
 	s.lastTLPFlush = s.cycle
 }
 
+// wakeQuiet ends core ci's fast-forward span: the cycles [quietFrom, upTo)
+// it would have spent idling are credited to its counters, and the core
+// resumes normal per-cycle ticking.
+func (s *Simulator) wakeQuiet(ci int, upTo uint64) {
+	if !s.coreQuiet[ci] {
+		return
+	}
+	if upTo > s.quietFrom[ci] {
+		s.cores[ci].CreditIdle(upTo-s.quietFrom[ci], s.quietMemWait[ci])
+	}
+	s.coreQuiet[ci] = false
+}
+
+// creditQuiet settles core ci's fast-forward counters up to (excluding)
+// upTo without waking it, so window and snapshot reads see exact values
+// while the core stays skipped.
+func (s *Simulator) creditQuiet(ci int, upTo uint64) {
+	if !s.coreQuiet[ci] || upTo <= s.quietFrom[ci] {
+		return
+	}
+	s.cores[ci].CreditIdle(upTo-s.quietFrom[ci], s.quietMemWait[ci])
+	s.quietFrom[ci] = upTo
+}
+
 func (s *Simulator) applyDecision(d tlp.Decision) {
+	// A TLP or bypass change can make a ready-but-inactive warp issuable,
+	// ending quiescence; settle and wake every fast-forwarded core first.
+	for ci := range s.cores {
+		s.wakeQuiet(ci, s.cycle)
+	}
 	s.flushTLPAccum()
 	for app, cores := range s.appCores {
 		for _, ci := range cores {
@@ -342,9 +402,20 @@ func (s *Simulator) Run() Result {
 			s.warm = s.snapshot()
 		}
 
-		// Cores execute.
-		for _, c := range s.cores {
+		// Cores execute. A core that reaches quiescence (no issuable warp,
+		// no scheduled wake-up) is fast-forwarded: its Tick is skipped
+		// until a fill or decision arrives, and the skipped idle cycles
+		// are credited in bulk at the next event or window boundary.
+		for ci, c := range s.cores {
+			if s.coreQuiet[ci] {
+				continue
+			}
 			c.Tick(now)
+			if c.Quiescent() {
+				s.coreQuiet[ci] = true
+				s.quietFrom[ci] = now + 1
+				s.quietMemWait[ci] = c.ActiveMemWait()
+			}
 		}
 
 		// Core -> memory injection (one message at a time per core, with
@@ -378,7 +449,12 @@ func (s *Simulator) Run() Result {
 						p.Enqueue(req, s.memCycle)
 					}
 				}
-				p.Tick(s.memCycle)
+				// A partition with nothing queued, no in-flight DRAM
+				// events and no refresh clock is a provable no-op; skip
+				// the Tick entirely.
+				if !p.Quiescent() {
+					p.Tick(s.memCycle)
+				}
 			}
 			s.memCycle++
 		}
@@ -394,16 +470,25 @@ func (s *Simulator) Run() Result {
 			}
 		}
 
-		// Deliver responses.
+		// Deliver responses. A fill ends the destination core's quiescence
+		// (the woken warp may issue next cycle); the reply object itself is
+		// consumed here and recycled to the pool.
 		for ci, c := range s.cores {
 			if resp := s.toCore.Pop(ci, now); resp != nil {
+				s.wakeQuiet(ci, now+1)
 				c.HandleFill(resp.LineAddr)
+				s.pool.Put(resp)
 			}
 		}
 
 		// Sampling window boundary.
 		if now+1 == nextWindow {
 			windows++
+			// Settle fast-forwarded counters so the window telemetry is
+			// exact; quiescent cores stay skipped.
+			for ci := range s.cores {
+				s.creditQuiet(ci, now+1)
+			}
 			sample := s.buildSample(now + 1)
 			d := s.opts.Manager.OnSample(sample)
 			if !decisionsEqual(d, s.curDecision) {

@@ -16,7 +16,16 @@ const cmrFloor = 1e-2
 // aggregates machine-wide.
 func (s *Simulator) buildSample(cycle uint64) tlp.Sample {
 	numApps := len(s.opts.Apps)
-	sample := tlp.Sample{Cycle: cycle, Apps: make([]tlp.AppSample, numApps)}
+	// The Apps buffer is reused between windows (documented on
+	// Options.OnWindow); managers and the trace recorder copy scalars.
+	if cap(s.sampleApps) < numApps {
+		s.sampleApps = make([]tlp.AppSample, numApps)
+	}
+	apps := s.sampleApps[:numApps]
+	for i := range apps {
+		apps[i] = tlp.AppSample{}
+	}
+	sample := tlp.Sample{Cycle: cycle, Apps: apps}
 	windowCycles := s.opts.WindowCycles
 
 	// Memory cycles elapsed this window (for bandwidth normalization).
@@ -150,8 +159,23 @@ func (s *Simulator) newWindow() {
 
 // snapshot captures per-app lifetime totals (for warmup subtraction).
 func (s *Simulator) snapshot() []appSnapshot {
+	return s.snapshotInto(nil)
+}
+
+// snapshotInto fills dst (grown if needed) with per-app lifetime totals,
+// settling fast-forwarded idle counters first so Total() reads are exact.
+func (s *Simulator) snapshotInto(dst []appSnapshot) []appSnapshot {
+	for ci := range s.cores {
+		s.creditQuiet(ci, s.cycle)
+	}
 	numApps := len(s.opts.Apps)
-	snaps := make([]appSnapshot, numApps)
+	if cap(dst) < numApps {
+		dst = make([]appSnapshot, numApps)
+	}
+	snaps := dst[:numApps]
+	for i := range snaps {
+		snaps[i] = appSnapshot{}
+	}
 	for app := 0; app < numApps; app++ {
 		sn := &snaps[app]
 		for _, ci := range s.appCores[app] {
@@ -193,7 +217,8 @@ func (s *Simulator) result(windows uint64) Result {
 		// Warmup 0: subtract a zero snapshot.
 		s.warm = make([]appSnapshot, len(s.opts.Apps))
 	}
-	end := s.snapshot()
+	end := s.snapshotInto(s.accum)
+	s.accum = end
 	measCycles := s.cycle - s.opts.WarmupCycles
 	memCycles := float64(end[0].memCycles - s.warm[0].memCycles)
 	peakBytes := s.cfg.PeakBandwidthBytesPerMemCycle() * memCycles
