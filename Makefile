@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify race bench test build
+.PHONY: all verify race bench obs-bench test build
 
 all: verify
 
@@ -30,3 +30,13 @@ BENCH ?= BENCH_1.json
 OLD ?=
 bench:
 	$(GO) run ./cmd/benchdiff -out $(BENCH) $(if $(OLD),-old $(OLD))
+
+# obs-bench enforces the observability overhead contract (DESIGN.md §7):
+# the fully-instrumented simulator benchmark must stay within 5% of the
+# plain one, measured in the same run, and the result is also diffed
+# against the BENCH_1.json baseline.
+obs-bench:
+	$(GO) run ./cmd/benchdiff -pkgs . \
+	    -bench 'SimulatorCycles' -benchtime 5x -count 5 -out '' \
+	    -old BENCH_1.json \
+	    -maxratio 'BenchmarkSimulatorCyclesObs/BenchmarkSimulatorCycles=1.05'

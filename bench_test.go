@@ -21,6 +21,7 @@ import (
 	"ebm/internal/config"
 	"ebm/internal/experiments"
 	"ebm/internal/kernel"
+	"ebm/internal/obs"
 	"ebm/internal/sim"
 	"ebm/internal/workload"
 )
@@ -210,6 +211,37 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 			Config:      config.Default(),
 			Apps:        wl.Apps,
 			TotalCycles: cycles,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+	b.ReportMetric(float64(cycles*uint64(b.N))/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkSimulatorCyclesObs is BenchmarkSimulatorCycles with every
+// observability sink enabled (metrics registry, event journal, phase
+// polling). The Makefile's obs-bench target asserts its ns/op stays
+// within 5% of the plain benchmark (DESIGN.md §7's overhead contract).
+func BenchmarkSimulatorCyclesObs(b *testing.B) {
+	wl := workload.MustMake("BLK", "BFS")
+	const cycles = 50_000
+	// The observer outlives runs (a scrape endpoint serves many
+	// simulations), so its construction and metric registration are
+	// one-time setup, not steady-state overhead; keep them untimed.
+	observer := &obs.Observer{
+		Metrics: obs.NewRegistry(),
+		Journal: obs.NewJournal(),
+		PhaseFn: func() string { return "stable" },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(sim.Options{
+			Config:      config.Default(),
+			Apps:        wl.Apps,
+			TotalCycles: cycles,
+			Obs:         observer,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -7,6 +7,13 @@
 //	benchdiff -out BENCH_2.json       # record a new snapshot
 //	benchdiff -old BENCH_1.json       # run, then print a comparison table
 //	benchdiff -bench 'CycleTick' -benchtime 500000x
+//	benchdiff -bench 'SimulatorCycles' \
+//	    -maxratio 'BenchmarkSimulatorCyclesObs/BenchmarkSimulatorCycles=1.05'
+//
+// -maxratio asserts a ns/op ratio between two benchmarks of the same run
+// (numerator/denominator <= bound) and exits non-zero on violation; the
+// Makefile's obs-bench target uses it to hold the observability overhead
+// under 5%.
 //
 // The default -bench selection covers the simulator substrate
 // (BenchmarkCycleTick, BenchmarkRequestPool, BenchmarkMSHRTable,
@@ -50,6 +57,7 @@ func main() {
 		count     = flag.Int("count", 1, "go test -count value")
 		out       = flag.String("out", "BENCH_1.json", "output JSON snapshot (empty disables)")
 		old       = flag.String("old", "", "previous snapshot to diff against")
+		maxRatio  = flag.String("maxratio", "", "assert ns/op ratio 'BenchA/BenchB=1.05' within this run")
 	)
 	flag.Parse()
 
@@ -99,6 +107,64 @@ func main() {
 		}
 		diff(os.Stdout, prev, snap)
 	}
+
+	if *maxRatio != "" {
+		if err := assertRatio(snap, *maxRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// assertRatio checks a "Numerator/Denominator=bound" constraint against
+// the ns/op figures of the snapshot just taken. Comparing two benchmarks
+// from the same run sidesteps machine-to-machine drift that makes
+// absolute-time assertions flaky.
+func assertRatio(snap File, spec string) error {
+	names, boundStr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("bad -maxratio %q, want 'BenchA/BenchB=1.05'", spec)
+	}
+	num, den, ok := strings.Cut(names, "/")
+	if !ok {
+		return fmt.Errorf("bad -maxratio %q, want 'BenchA/BenchB=1.05'", spec)
+	}
+	bound, err := strconv.ParseFloat(strings.TrimSpace(boundStr), 64)
+	if err != nil || bound <= 0 {
+		return fmt.Errorf("bad -maxratio bound %q", boundStr)
+	}
+	// With -count > 1 each name appears several times; take the fastest
+	// run of each (the least-noise estimate) before forming the ratio.
+	find := func(name string) (Bench, error) {
+		name = strings.TrimSpace(name)
+		var best Bench
+		for _, b := range snap.Benchmarks {
+			if b.Name == name && (best.Name == "" || b.NsPerOp < best.NsPerOp) {
+				best = b
+			}
+		}
+		if best.Name == "" {
+			return Bench{}, fmt.Errorf("-maxratio: benchmark %q not in this run", name)
+		}
+		return best, nil
+	}
+	nb, err := find(num)
+	if err != nil {
+		return err
+	}
+	db, err := find(den)
+	if err != nil {
+		return err
+	}
+	if db.NsPerOp == 0 {
+		return fmt.Errorf("-maxratio: %s has zero ns/op", db.Name)
+	}
+	ratio := nb.NsPerOp / db.NsPerOp
+	fmt.Printf("ratio %s/%s = %.4f (bound %.4f)\n", nb.Name, db.Name, ratio, bound)
+	if ratio > bound {
+		return fmt.Errorf("ratio %.4f exceeds bound %.4f", ratio, bound)
+	}
+	return nil
 }
 
 // parse extracts benchmark result lines from go test output. A line looks

@@ -11,6 +11,11 @@
 // Schemes: besttlp, maxtlp, dyncta, modbypass, pbs-ws, pbs-fi, pbs-hs,
 // static (with -tlp).
 //
+// Observability: -listen serves live Prometheus metrics on /metrics,
+// -trace writes the per-window CSV time series, -chrometrace writes a
+// Chrome trace-event file for chrome://tracing (see DESIGN.md §7 and the
+// README's "Watching a run live").
+//
 // Performance diagnosis: -cpuprofile and -memprofile write pprof profiles
 // of the run (inspect with `go tool pprof`); see DESIGN.md's Performance
 // section for the benchmark workflow.
@@ -29,10 +34,10 @@ import (
 	pbscore "ebm/internal/core"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
+	"ebm/internal/obs"
 	"ebm/internal/profile"
 	"ebm/internal/sim"
 	"ebm/internal/tlp"
-	"ebm/internal/trace"
 	"ebm/internal/workload"
 )
 
@@ -47,7 +52,9 @@ func main() {
 		window  = flag.Uint64("window", 2_500, "sampling window in cycles")
 		cache   = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
 		verbose = flag.Bool("v", false, "print per-application details")
-		traceF  = flag.String("trace", "", "write per-window TLP/EB/BW time series to a CSV file")
+		traceF  = flag.String("trace", "", "write per-window TLP/EB/BW/CMR time series to a CSV file")
+		chromeF = flag.String("chrometrace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
+		listen  = flag.String("listen", "", "serve live Prometheus metrics on this address, e.g. :8080 (0 picks a port)")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
@@ -112,15 +119,34 @@ func main() {
 	if *scheme == "ccws" {
 		victimTags = 1024
 	}
-	var rec *trace.Recorder
-	var hook func(tlp.Sample)
-	if *traceF != "" {
-		rec = trace.NewRecorder(len(wl.Apps))
-		if pbs, ok := mgr.(*pbscore.PBS); ok {
-			rec.SearchingFn = pbs.Searching
+
+	// Observability sinks: a journal backs the CSV and Chrome-trace
+	// exporters, a registry backs the live /metrics endpoint. With none of
+	// the flags set the observer stays nil and the engine's hot path is
+	// untouched.
+	var observer *obs.Observer
+	if *traceF != "" || *chromeF != "" || *listen != "" {
+		observer = &obs.Observer{}
+		if *traceF != "" || *chromeF != "" {
+			observer.Journal = obs.NewJournal()
 		}
-		hook = rec.Hook
+		if *listen != "" {
+			observer.Metrics = obs.NewRegistry()
+		}
+		if pbs, ok := mgr.(*pbscore.PBS); ok {
+			observer.PhaseFn = pbs.Phase
+		}
 	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, observer.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ebsim: serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+
 	s, err := sim.New(sim.Options{
 		Config:             cfg,
 		Apps:               wl.Apps,
@@ -130,7 +156,7 @@ func main() {
 		WindowCycles:       *window,
 		DesignatedSampling: true,
 		VictimTags:         victimTags,
-		OnWindow:           hook,
+		Obs:                observer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ebsim:", err)
@@ -138,21 +164,15 @@ func main() {
 	}
 	res := s.Run()
 
-	if rec != nil {
-		f, err := os.Create(*traceF)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
-		}
-		if err := rec.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "ebsim: wrote %s\n", *traceF)
+	if *traceF != "" {
+		writeFile(*traceF, func(f *os.File) error {
+			return obs.WriteWindowsCSV(f, observer.Journal, len(wl.Apps))
+		})
+	}
+	if *chromeF != "" {
+		writeFile(*chromeF, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, observer.Journal, obs.ChromeTraceOptions{AppNames: names})
+		})
 	}
 
 	sd, err := metrics.Slowdowns(res.IPCs(), aloneIPC)
@@ -174,6 +194,24 @@ func main() {
 				a.MemStallFrac, a.IssueUtil, a.AvgTLP, a.Kernels)
 		}
 	}
+}
+
+// writeFile creates path, runs write against it, and exits on any error.
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ebsim: wrote %s\n", path)
 }
 
 // startProfiles starts a CPU profile and arranges a heap profile; the

@@ -7,9 +7,13 @@
 //	sweep -workload BLK_TRD
 //	sweep -workload BFS_FFT -grids ws,ebws,fi
 //	sweep -workload BFS_FFT -cycles 200000
+//	sweep -workload BLK_TRD -o results/blk_trd.txt -listen :8080
 //
 // The grid's combinations run concurrently; -parallel bounds the worker
-// count (default: all CPUs, runtime.NumCPU). -cpuprofile/-memprofile write
+// count (default: all CPUs, runtime.NumCPU). Per-combination progress is
+// journaled and echoed to stderr; -listen additionally serves live
+// ebm_sweep_combos_done/total gauges on /metrics. -o tees the report into
+// a file (parent directories are created). -cpuprofile/-memprofile write
 // pprof profiles of the build. Wall-clock time and simulations per second
 // are reported on stderr at exit.
 package main
@@ -17,7 +21,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -26,6 +32,7 @@ import (
 	"ebm/internal/config"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
+	"ebm/internal/obs"
 	"ebm/internal/profile"
 	"ebm/internal/search"
 	"ebm/internal/sim"
@@ -40,10 +47,35 @@ func main() {
 		warmup   = flag.Uint64("warmup", 20_000, "warmup cycles")
 		cache    = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent grid simulations (default: all CPUs)")
+		outPath  = flag.String("o", "", "also write the report to this file, e.g. results/blk_trd.txt")
+		listen   = flag.String("listen", "", "serve live sweep-progress metrics on this address, e.g. :8080")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
 	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		if dir := filepath.Dir(*outPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "sweep: wrote %s\n", *outPath)
+		}()
+		out = io.MultiWriter(os.Stdout, f)
+	}
 
 	start := time.Now()
 	sims := 0
@@ -96,9 +128,40 @@ func main() {
 	aloneEB, _ := suite.AloneEB(names)
 	bestTLPs, _ := suite.BestTLPs(names)
 
+	// Per-combination progress flows through an event journal: a stderr
+	// subscriber narrates it, and -listen mirrors it into live gauges.
+	journal := obs.NewJournal()
+	journal.Subscribe(func(e obs.Event) {
+		if e.Kind == obs.EvProgress {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d combinations (last %s)\n",
+				e.Done, e.Total, e.Label)
+		}
+	})
+	var doneG, totalG *obs.Gauge
+	if *listen != "" {
+		reg := obs.NewRegistry()
+		doneG = reg.Gauge("ebm_sweep_combos_done", "grid combinations simulated so far")
+		totalG = reg.Gauge("ebm_sweep_combos_total", "grid combinations in this sweep")
+		srv, err := obs.Serve(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+
 	g, err := search.BuildGrid(wl.Apps, search.GridOptions{
 		Config: cfg, TotalCycles: *cycles, WarmupCycles: *warmup,
 		Parallelism: *parallel,
+		Progress: func(done, total int, combo []int) {
+			totalG.Set(float64(total))
+			doneG.Set(float64(done))
+			journal.Record(obs.Event{
+				Kind: obs.EvProgress, App: -1,
+				Done: done, Total: total, Label: fmt.Sprint(combo),
+			})
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -125,22 +188,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: unknown surface %q\n", key)
 			continue
 		}
-		fmt.Printf("\n%s grid (rows: TLP-%s, cols: TLP-%s)\n       ", s.title, names[0], names[1])
+		fmt.Fprintf(out, "\n%s grid (rows: TLP-%s, cols: TLP-%s)\n       ", s.title, names[0], names[1])
 		for _, t1 := range g.Levels {
-			fmt.Printf("%8d", t1)
+			fmt.Fprintf(out, "%8d", t1)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		for _, t0 := range g.Levels {
-			fmt.Printf("%6d ", t0)
+			fmt.Fprintf(out, "%6d ", t0)
 			for _, t1 := range g.Levels {
 				r, err := g.At([]int{t0, t1})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "sweep:", err)
 					os.Exit(1)
 				}
-				fmt.Printf("%8.3f", s.eval(r))
+				fmt.Fprintf(out, "%8.3f", s.eval(r))
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
 
@@ -153,11 +216,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-16s combo=%-9v WS=%.3f FI=%.3f HS=%.3f\n",
+		fmt.Fprintf(out, "%-16s combo=%-9v WS=%.3f FI=%.3f HS=%.3f\n",
 			label, combo, wsEval(r), fiEval(r), hsEval(r))
 	}
 
-	fmt.Println()
+	fmt.Fprintln(out)
 	report("++bestTLP", bestTLPs)
 	report("++maxTLP", []int{config.MaxTLP, config.MaxTLP})
 	for _, x := range []struct {

@@ -132,6 +132,15 @@ type Partition struct {
 	Refreshes   stats.Counter
 	nextRefresh uint64
 
+	// MSHRStalls counts memory cycles the input-queue head was blocked by
+	// a full L2 MSHR file or DRAM queue (structural back-pressure toward
+	// the interconnect); BusBusy accumulates the memory cycles the data
+	// bus spent bursting, so (windowed BusBusy)/(window mem cycles) is the
+	// bus utilization. Both are observability counters: they feed the obs
+	// exporters and never influence scheduling.
+	MSHRStalls stats.Counter
+	BusBusy    stats.Counter
+
 	// derived address mapping
 	interleave uint64
 	nparts     uint64
@@ -345,6 +354,7 @@ func (p *Partition) acceptOne(now uint64) {
 	if p.mshr.Full() || len(p.dramQ) >= p.dramQCap {
 		// Structural stall; the head request retries next cycle and
 		// back-pressure propagates to the interconnect.
+		p.MSHRStalls.Inc()
 		return
 	}
 	p.mshr.Add(req.LineAddr, req)
@@ -428,6 +438,7 @@ func (p *Partition) scheduleDRAM(now uint64) {
 	}
 	dataEnd := dataStart + uint64(t.BL)
 	p.busFreeAt = dataEnd
+	p.BusBusy.Add(uint64(t.BL))
 	b.lastColAt = colAt
 	b.colReady = colAt + uint64(t.TCCD)
 	p.lastColAt = colAt
@@ -455,6 +466,8 @@ func (p *Partition) OutstandingMisses() int { return p.mshr.Len() }
 // sampling window.
 func (p *Partition) NewWindow() {
 	p.L2.NewWindow()
+	p.MSHRStalls.NewWindow()
+	p.BusBusy.NewWindow()
 	for i := range p.Apps {
 		a := &p.Apps[i]
 		a.BWBytes.NewWindow()

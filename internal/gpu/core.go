@@ -53,6 +53,7 @@ type CoreStats struct {
 	IdleCycles   stats.Counter // cycles with no ready active warp at all
 	MemStall     stats.Counter // idle cycles where an active warp waited on memory
 	StallMSHR    stats.Counter // issue aborts due to full MSHRs/inject queue
+	FastForward  stats.Counter // idle cycles credited in bulk by the fast-forward path
 }
 
 // NewWindow rolls every counter into a new sampling window.
@@ -64,6 +65,7 @@ func (cs *CoreStats) NewWindow() {
 	cs.IdleCycles.NewWindow()
 	cs.MemStall.NewWindow()
 	cs.StallMSHR.NewWindow()
+	cs.FastForward.NewWindow()
 }
 
 // Core is one streaming multiprocessor running warps of a single
@@ -454,6 +456,7 @@ func (c *Core) ActiveMemWait() bool {
 // active warp was blocked on a fill.
 func (c *Core) CreditIdle(n uint64, memWait bool) {
 	c.Stats.IdleCycles.Add(n)
+	c.Stats.FastForward.Add(n)
 	if memWait {
 		c.Stats.MemStall.Add(n)
 	}

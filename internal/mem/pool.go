@@ -19,7 +19,8 @@ const poisonKind Kind = 0xEE
 type Pool struct {
 	free []*Request
 
-	// Telemetry for tests and benchmarks.
+	// Telemetry for tests, benchmarks and the obs exporters.
+	gets     uint64 // all Gets (hit rate = (gets-allocs)/gets)
 	allocs   uint64 // Gets served by the heap (free list empty)
 	recycles uint64 // Puts accepted into the free list
 }
@@ -32,6 +33,7 @@ func (p *Pool) Get() *Request {
 	if p == nil {
 		return new(Request)
 	}
+	p.gets++
 	if n := len(p.free); n > 0 {
 		r := p.free[n-1]
 		p.free[n-1] = nil
@@ -66,6 +68,15 @@ func (p *Pool) FreeLen() int {
 		return 0
 	}
 	return len(p.free)
+}
+
+// Gets returns how many requests have been handed out in total; the free
+// list's hit rate is (Gets-HeapAllocs)/Gets.
+func (p *Pool) Gets() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.gets
 }
 
 // HeapAllocs returns how many Gets were served by the heap rather than the

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeTraceOptions configures the trace-event rendering.
+type ChromeTraceOptions struct {
+	// AppNames label the per-application tracks; missing entries fall
+	// back to "app N".
+	AppNames []string
+}
+
+// traceEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing and Perfetto both load it). Ts and Dur are in
+// microseconds; we map one core cycle to one microsecond.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	machinePid = 0
+	tidWindows = 0
+	tidEvents  = 1
+	tidPhases  = 2
+)
+
+// WriteChromeTrace renders the journal as Chrome trace-event JSON:
+// sampling windows and PBS phases as duration tracks and decisions,
+// warmup, and kernel relaunches as instant events on the "machine"
+// process; per-application TLP/EB/BW/CMR/IPC as counter tracks on one
+// process per application.
+func WriteChromeTrace(w io.Writer, j *Journal, opts ChromeTraceOptions) error {
+	events := j.Events()
+	out := make([]traceEvent, 0, 4*len(events)+8)
+
+	meta := func(pid int, name string) {
+		out = append(out, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(machinePid, "machine")
+	named := make(map[int]bool)
+
+	appName := func(app int) string {
+		if app >= 0 && app < len(opts.AppNames) && opts.AppNames[app] != "" {
+			return fmt.Sprintf("app%d %s", app, opts.AppNames[app])
+		}
+		return fmt.Sprintf("app%d", app)
+	}
+	counter := func(app int, cycle uint64, name string, v float64) {
+		pid := app + 1
+		if !named[pid] {
+			named[pid] = true
+			meta(pid, appName(app))
+		}
+		out = append(out, traceEvent{
+			Name: name, Ph: "C", Ts: cycle, Pid: pid,
+			Args: map[string]any{"value": v},
+		})
+	}
+
+	var prevWindowEnd uint64
+	var phaseName string
+	var phaseStart uint64
+	var lastCycle uint64
+	for _, e := range events {
+		if e.Cycle > lastCycle {
+			lastCycle = e.Cycle
+		}
+		switch e.Kind {
+		case EvWindow:
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("window %d", e.Window), Ph: "X",
+				Ts: prevWindowEnd, Dur: e.Cycle - prevWindowEnd,
+				Pid: machinePid, Tid: tidWindows,
+				Args: map[string]any{"total_bw": e.BW},
+			})
+			prevWindowEnd = e.Cycle
+		case EvAppWindow:
+			counter(e.App, e.Cycle, "TLP", float64(e.TLP))
+			counter(e.App, e.Cycle, "EB", e.EB)
+			counter(e.App, e.Cycle, "BW", e.BW)
+			counter(e.App, e.Cycle, "CMR", e.CMR)
+			counter(e.App, e.Cycle, "IPC", e.IPC)
+		case EvDecision:
+			out = append(out, traceEvent{
+				Name: "decision", Ph: "i", Ts: e.Cycle,
+				Pid: machinePid, Tid: tidEvents, S: "p",
+				Args: map[string]any{"combo": e.Label},
+			})
+		case EvWarmup:
+			out = append(out, traceEvent{
+				Name: "warmup end", Ph: "i", Ts: e.Cycle,
+				Pid: machinePid, Tid: tidEvents, S: "p",
+			})
+		case EvKernel:
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("kernel relaunch app%d", e.App), Ph: "i",
+				Ts: e.Cycle, Pid: machinePid, Tid: tidEvents, S: "t",
+			})
+		case EvPhase:
+			if phaseName != "" {
+				out = append(out, traceEvent{
+					Name: phaseName, Ph: "X", Ts: phaseStart,
+					Dur: e.Cycle - phaseStart, Pid: machinePid, Tid: tidPhases,
+				})
+			}
+			phaseName, phaseStart = e.Label, e.Cycle
+		}
+	}
+	if phaseName != "" && lastCycle > phaseStart {
+		out = append(out, traceEvent{
+			Name: phaseName, Ph: "X", Ts: phaseStart,
+			Dur: lastCycle - phaseStart, Pid: machinePid, Tid: tidPhases,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteWindowsCSV renders the journal's sampling windows as CSV: one row
+// per window with the end-of-window cycle, per-application TLP/EB/BW/CMR
+// columns, the machine EB sum (the EB-WS objective), a decision column
+// counting the TLP decisions applied since the previous window, and the
+// policy phase in effect (empty when the policy exposes none). numApps
+// fixes the column set so rows are rectangular even for an empty journal.
+func WriteWindowsCSV(w io.Writer, j *Journal, numApps int) error {
+	cw := csv.NewWriter(w)
+	head := []string{"cycle"}
+	for i := 0; i < numApps; i++ {
+		head = append(head,
+			fmt.Sprintf("tlp%d", i), fmt.Sprintf("eb%d", i),
+			fmt.Sprintf("bw%d", i), fmt.Sprintf("cmr%d", i))
+	}
+	head = append(head, "ebws", "decisions", "phase")
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+
+	apps := make([]Event, numApps)
+	haveApp := make([]bool, numApps)
+	decisions := 0
+	phase := ""
+	row := make([]string, 0, len(head))
+	for _, e := range j.Events() {
+		switch e.Kind {
+		case EvAppWindow:
+			if e.App >= 0 && e.App < numApps {
+				apps[e.App] = e
+				haveApp[e.App] = true
+			}
+		case EvDecision:
+			decisions++
+		case EvPhase:
+			phase = e.Label
+		case EvWindow:
+			row = append(row[:0], fmt.Sprint(e.Cycle))
+			ebws := 0.0
+			for i := 0; i < numApps; i++ {
+				var a Event
+				if haveApp[i] {
+					a = apps[i]
+				}
+				ebws += a.EB
+				row = append(row,
+					fmt.Sprint(a.TLP), fmt.Sprintf("%g", a.EB),
+					fmt.Sprintf("%g", a.BW), fmt.Sprintf("%g", a.CMR))
+				haveApp[i] = false
+			}
+			row = append(row, fmt.Sprintf("%g", ebws), fmt.Sprint(decisions), phase)
+			decisions = 0
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

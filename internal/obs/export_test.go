@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// windowJournal builds a two-app journal with the event shapes the engine
+// emits: per-app window events, then the machine window event, with a
+// decision and a phase transition interleaved.
+func windowJournal() *Journal {
+	j := NewJournal()
+	j.Record(Event{Cycle: 0, Kind: EvPhase, App: -1, Label: "init"})
+	j.Record(Event{Cycle: 2500, Kind: EvAppWindow, App: 0, Window: 1, TLP: 24, EB: 0.5, BW: 0.2, CMR: 0.4, IPC: 1.5})
+	j.Record(Event{Cycle: 2500, Kind: EvAppWindow, App: 1, Window: 1, TLP: 8, EB: 0.3, BW: 0.1, CMR: 0.33, IPC: 0.7})
+	j.Record(Event{Cycle: 2500, Kind: EvWindow, App: -1, Window: 1, BW: 0.3})
+	j.Record(Event{Cycle: 2532, Kind: EvDecision, App: -1, Label: "tlp=[16 8]"})
+	j.Record(Event{Cycle: 3000, Kind: EvWarmup, App: -1})
+	j.Record(Event{Cycle: 5000, Kind: EvPhase, App: -1, Label: "sweep"})
+	j.Record(Event{Cycle: 5000, Kind: EvAppWindow, App: 0, Window: 2, TLP: 16, EB: 0.6, BW: 0.25, CMR: 0.4, IPC: 1.6})
+	j.Record(Event{Cycle: 5000, Kind: EvAppWindow, App: 1, Window: 2, TLP: 8, EB: 0.2, BW: 0.1, CMR: 0.5, IPC: 0.6})
+	j.Record(Event{Cycle: 5000, Kind: EvKernel, App: 1})
+	j.Record(Event{Cycle: 5000, Kind: EvWindow, App: -1, Window: 2, BW: 0.35})
+	return j
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var b strings.Builder
+	err := WriteChromeTrace(&b, windowJournal(), ChromeTraceOptions{AppNames: []string{"BLK", "TRD"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output must be a valid trace-event JSON object.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	count := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		count[ph]++
+		if _, ok := e["pid"]; !ok {
+			t.Fatalf("event without pid: %v", e)
+		}
+	}
+	if count["X"] < 3 { // 2 windows + 1 closed phase span
+		t.Errorf("want >=3 duration events, got %d", count["X"])
+	}
+	if count["C"] != 2*2*5 { // 2 windows x 2 apps x 5 counter tracks
+		t.Errorf("want 20 counter events, got %d", count["C"])
+	}
+	if count["i"] != 3 { // decision + warmup + kernel
+		t.Errorf("want 3 instant events, got %d", count["i"])
+	}
+	if count["M"] != 3 { // machine + 2 app process names
+		t.Errorf("want 3 metadata events, got %d", count["M"])
+	}
+	if !strings.Contains(b.String(), "app0 BLK") {
+		t.Error("missing app process name")
+	}
+}
+
+func TestWriteWindowsCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteWindowsCSV(&b, windowJournal(), 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines, want header+2:\n%s", len(lines), b.String())
+	}
+	wantHead := "cycle,tlp0,eb0,bw0,cmr0,tlp1,eb1,bw1,cmr1,ebws,decisions,phase"
+	if lines[0] != wantHead {
+		t.Fatalf("header %q, want %q", lines[0], wantHead)
+	}
+	if lines[1] != "2500,24,0.5,0.2,0.4,8,0.3,0.1,0.33,0.8,0,init" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	// The decision at cycle 2532 lands in window 2's row; phase flipped.
+	if lines[2] != "5000,16,0.6,0.25,0.4,8,0.2,0.1,0.5,0.8,1,sweep" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteWindowsCSVEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteWindowsCSV(&b, NewJournal(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(b.String()), "\n"); len(lines) != 1 {
+		t.Fatalf("empty journal must emit only the header, got %q", b.String())
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("ebm_app_eb", "eb", L("app", "0")).Set(0.75)
+	reg.Counter("ebm_dram_row_hits_total", "hits").Set(11)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		`ebm_app_eb{app="0"} 0.75`,
+		"ebm_dram_row_hits_total 11",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+
+	// Root redirects to /metrics.
+	resp2, err := http.Get("http://" + srv.Addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Request.URL.Path != "/metrics" {
+		t.Errorf("root did not redirect to /metrics (landed on %s)", resp2.Request.URL.Path)
+	}
+}

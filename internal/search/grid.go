@@ -29,6 +29,12 @@ type GridOptions struct {
 	TotalCycles  uint64
 	WarmupCycles uint64
 	Parallelism  int // concurrent simulations; default NumCPU
+
+	// Progress, when non-nil, is called after each combination finishes
+	// with the number completed so far, the grid size, and the combination
+	// that just completed. Calls are serialized (made under the builder's
+	// lock) but may come from any worker goroutine and out of grid order.
+	Progress func(done, total int, combo []int)
 }
 
 // Grid holds one sim.Result per TLP combination of a workload.
@@ -120,6 +126,7 @@ func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 		wg   sync.WaitGroup
 		mu   sync.Mutex
 		next int
+		done int
 		err  error
 	)
 	worker := func() {
@@ -140,6 +147,10 @@ func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 				err = runErr
 			}
 			g.Results[idx] = res
+			done++
+			if opts.Progress != nil {
+				opts.Progress(done, len(combos), combos[idx])
+			}
 			mu.Unlock()
 		}
 	}

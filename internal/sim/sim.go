@@ -17,6 +17,7 @@ import (
 	"ebm/internal/icnt"
 	"ebm/internal/kernel"
 	"ebm/internal/mem"
+	"ebm/internal/obs"
 	"ebm/internal/tlp"
 )
 
@@ -69,6 +70,14 @@ type Options struct {
 	// it if the hook retains telemetry beyond the call (the managers and
 	// the trace recorder copy scalar fields, so they are unaffected).
 	OnWindow func(tlp.Sample)
+
+	// Obs attaches the observability subsystem (internal/obs): the metric
+	// registry is refreshed and the journal appended to at window and
+	// decision granularity only. Nil (or an observer with no sinks) keeps
+	// the cycle loop on a single pointer-nil branch per boundary event, so
+	// disabled runs stay allocation-free and bit-identical to the golden
+	// baselines.
+	Obs *obs.Observer
 }
 
 func (o *Options) fillDefaults() error {
@@ -242,6 +251,10 @@ type Simulator struct {
 	accum []appSnapshot // end-of-run snapshot buffer, reused
 
 	sampleApps []tlp.AppSample // per-window telemetry buffer, reused
+
+	// obsw is non-nil only when Options.Obs carries a live sink; every
+	// observability hook in Run branches on it.
+	obsw *simObs
 }
 
 // New builds a simulator; Options are validated and defaulted.
@@ -315,6 +328,9 @@ func New(opts Options) (*Simulator, error) {
 
 	s.curDecision = opts.Manager.Initial(numApps)
 	s.applyDecision(s.curDecision)
+	if opts.Obs != nil {
+		s.obsw = newSimObs(s, opts.Obs)
+	}
 	return s, nil
 }
 
@@ -397,9 +413,15 @@ func (s *Simulator) Run() Result {
 		if s.pendDecision != nil && now >= s.pendAt {
 			s.applyDecision(*s.pendDecision)
 			s.pendDecision = nil
+			if s.obsw != nil {
+				s.obsw.decision(s.curDecision, now)
+			}
 		}
 		if now == s.opts.WarmupCycles {
 			s.warm = s.snapshot()
+			if s.obsw != nil {
+				s.obsw.warmup(now)
+			}
 		}
 
 		// Cores execute. A core that reaches quiescence (no issuable warp,
@@ -491,13 +513,16 @@ func (s *Simulator) Run() Result {
 			}
 			sample := s.buildSample(now + 1)
 			d := s.opts.Manager.OnSample(sample)
-			if !decisionsEqual(d, s.curDecision) {
+			if !d.Equal(s.curDecision) {
 				dc := d.Clone()
 				s.pendDecision = &dc
 				s.pendAt = now + 1 + s.opts.DecisionDelay
 			}
 			if s.opts.OnWindow != nil {
 				s.opts.OnWindow(sample)
+			}
+			if s.obsw != nil {
+				s.obsw.window(s, sample, windows)
 			}
 			s.newWindow()
 			nextWindow += s.opts.WindowCycles
@@ -511,26 +536,6 @@ func (s *Simulator) pushBack(c *gpu.Core, req *mem.Request) {
 	// exposes only Pop, so the simulator keeps the skid entry itself by
 	// re-pushing through a tiny helper on the core.
 	c.RequeueFront(req)
-}
-
-func decisionsEqual(a, b tlp.Decision) bool {
-	if len(a.TLP) != len(b.TLP) {
-		return false
-	}
-	for i := range a.TLP {
-		if config.ClampToLevel(a.TLP[i]) != config.ClampToLevel(b.TLP[i]) {
-			return false
-		}
-	}
-	ab := func(d tlp.Decision, i int) bool {
-		return d.BypassL1 != nil && i < len(d.BypassL1) && d.BypassL1[i]
-	}
-	for i := range a.TLP {
-		if ab(a, i) != ab(b, i) {
-			return false
-		}
-	}
-	return true
 }
 
 // Cycle returns the current core cycle (testing hook).

@@ -76,6 +76,51 @@ func (d Decision) Clone() Decision {
 	}
 }
 
+// Equal reports whether two decisions request the same hardware state:
+// TLP values are compared after clamping to the machine's level range
+// (the warp schedulers cannot tell 25 from 24), and a nil BypassL1 equals
+// an all-false one. The simulator uses it to skip no-op decision relays.
+func (d Decision) Equal(o Decision) bool {
+	if len(d.TLP) != len(o.TLP) {
+		return false
+	}
+	for i := range d.TLP {
+		if config.ClampToLevel(d.TLP[i]) != config.ClampToLevel(o.TLP[i]) {
+			return false
+		}
+	}
+	bypass := func(x Decision, i int) bool {
+		return x.BypassL1 != nil && i < len(x.BypassL1) && x.BypassL1[i]
+	}
+	for i := range d.TLP {
+		if bypass(d, i) != bypass(o, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the decision for journals and logs, e.g.
+// "tlp=[24 1]" or "tlp=[8 8] bypass=[tf]".
+func (d Decision) String() string {
+	anyBypass := false
+	for _, b := range d.BypassL1 {
+		anyBypass = anyBypass || b
+	}
+	if !anyBypass {
+		return fmt.Sprintf("tlp=%v", d.TLP)
+	}
+	marks := make([]byte, 0, len(d.BypassL1))
+	for _, b := range d.BypassL1 {
+		if b {
+			marks = append(marks, 't')
+		} else {
+			marks = append(marks, 'f')
+		}
+	}
+	return fmt.Sprintf("tlp=%v bypass=[%s]", d.TLP, marks)
+}
+
 // Manager is a TLP management policy driven by the sampling hardware.
 type Manager interface {
 	// Name identifies the policy in reports.

@@ -22,6 +22,45 @@ func TestNewDecision(t *testing.T) {
 	}
 }
 
+func TestDecisionEqual(t *testing.T) {
+	base := Decision{TLP: []int{8, 16}, BypassL1: []bool{false, true}}
+	cases := []struct {
+		name string
+		a, b Decision
+		want bool
+	}{
+		{"identical", base, base.Clone(), true},
+		{"different TLP", base, Decision{TLP: []int{8, 24}, BypassL1: []bool{false, true}}, false},
+		{"different bypass", base, Decision{TLP: []int{8, 16}, BypassL1: []bool{true, true}}, false},
+		{"different length", base, Decision{TLP: []int{8}}, false},
+		{"nil bypass equals all-false",
+			Decision{TLP: []int{8, 16}},
+			Decision{TLP: []int{8, 16}, BypassL1: []bool{false, false}}, true},
+		{"clamped to same level",
+			Decision{TLP: []int{25, 16}},
+			Decision{TLP: []int{config.ClampToLevel(25), 16}}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%s: Equal = %v, want %v", c.name, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("%s (reversed): Equal = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{TLP: []int{24, 1}}
+	if got := d.String(); got != "tlp=[24 1]" {
+		t.Fatalf("String = %q", got)
+	}
+	d = Decision{TLP: []int{8, 8}, BypassL1: []bool{true, false}}
+	if got := d.String(); got != "tlp=[8 8] bypass=[tf]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
 func TestDecisionClone(t *testing.T) {
 	d := NewDecision(2, 4)
 	c := d.Clone()

@@ -1,12 +1,12 @@
 // Package trace records per-window time series from a simulation run —
 // the data behind Fig. 11 (TLP choices over time under PBS) and any other
-// longitudinal view.
+// longitudinal view. CSV export of run time series lives in internal/obs
+// (WriteWindowsCSV, replaying the event journal); this package keeps the
+// in-memory series and the ASCII renderer used by the figure binaries.
 package trace
 
 import (
-	"encoding/csv"
 	"fmt"
-	"io"
 	"strings"
 
 	"ebm/internal/tlp"
@@ -83,42 +83,6 @@ func (r *Recorder) Hook(s tlp.Sample) {
 		}
 		r.Searching.Add(s.Cycle, v)
 	}
-}
-
-// WriteCSV emits the recorder's series as CSV: one row per sampling
-// window with cycle, per-app TLP/EB/BW columns, and the searching flag.
-func (r *Recorder) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	head := []string{"cycle"}
-	for i := range r.TLP {
-		head = append(head,
-			fmt.Sprintf("tlp%d", i), fmt.Sprintf("eb%d", i), fmt.Sprintf("bw%d", i))
-	}
-	head = append(head, "ebws", "searching")
-	if err := cw.Write(head); err != nil {
-		return err
-	}
-	n := len(r.MetricEB.Points)
-	for k := 0; k < n; k++ {
-		row := []string{fmt.Sprint(r.MetricEB.Points[k].Cycle)}
-		for i := range r.TLP {
-			row = append(row,
-				fmt.Sprintf("%g", r.TLP[i].Points[k].Value),
-				fmt.Sprintf("%g", r.EB[i].Points[k].Value),
-				fmt.Sprintf("%g", r.BW[i].Points[k].Value))
-		}
-		row = append(row, fmt.Sprintf("%g", r.MetricEB.Points[k].Value))
-		searching := ""
-		if k < len(r.Searching.Points) {
-			searching = fmt.Sprintf("%g", r.Searching.Points[k].Value)
-		}
-		row = append(row, searching)
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
 }
 
 // RenderASCII renders a series as a compact one-line-per-bucket text chart

@@ -90,32 +90,3 @@ func TestRenderASCIIClampsBars(t *testing.T) {
 		t.Fatal("bar length not clamped")
 	}
 }
-
-func TestWriteCSV(t *testing.T) {
-	r := NewRecorder(2)
-	searching := true
-	r.SearchingFn = func() bool { return searching }
-	for w := 1; w <= 3; w++ {
-		r.Hook(tlp.Sample{
-			Cycle: uint64(w * 1000),
-			Apps: []tlp.AppSample{
-				{App: 0, TLP: 8, EB: 0.5, BW: 0.2},
-				{App: 1, TLP: 4, EB: 0.3, BW: 0.1},
-			},
-		})
-	}
-	var buf strings.Builder
-	if err := r.WriteCSV(&buf); err != nil {
-		t.Fatal(err)
-	}
-	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("%d CSV lines, want header+3", len(lines))
-	}
-	if !strings.HasPrefix(lines[0], "cycle,tlp0,eb0,bw0,tlp1,eb1,bw1,ebws,searching") {
-		t.Fatalf("header %q", lines[0])
-	}
-	if !strings.HasPrefix(lines[1], "1000,8,0.5,0.2,4,0.3,0.1,0.8,1") {
-		t.Fatalf("row %q", lines[1])
-	}
-}
