@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify race bench obs-bench test build
+.PHONY: all verify race bench obs-bench figs-bench test build
 
 all: verify
 
@@ -40,3 +40,12 @@ obs-bench:
 	    -bench 'SimulatorCycles' -benchtime 5x -count 5 -out '' \
 	    -old BENCH_1.json \
 	    -maxratio 'BenchmarkSimulatorCyclesObs/BenchmarkSimulatorCycles=1.05'
+
+# figs-bench enforces the warm-cache contract (DESIGN.md §8): a
+# `paperfigs -all -quick`-shaped regeneration against a prewarmed result
+# cache must take at most 0.2x of the cold run (a >=5x speedup). The
+# cold/warm timings are snapshotted into BENCH_3.json.
+figs-bench:
+	$(GO) run ./cmd/benchdiff -pkgs . \
+	    -bench 'PaperFigsQuick' -benchtime 1x -count 3 -out BENCH_3.json \
+	    -maxratio 'BenchmarkPaperFigsQuickWarm/BenchmarkPaperFigsQuickCold=0.2'

@@ -198,6 +198,68 @@ func BenchmarkAblationSampling(b *testing.B) {
 	}
 }
 
+// --- Warm-cache workflow (DESIGN.md §8). ---
+
+// benchFigsEnv builds a paperfigs-quick-shaped environment (profile suite,
+// grids on demand, evaluation loop) on a reduced machine, backed by the
+// result cache at dir.
+func benchFigsEnv(b *testing.B, dir string) *experiments.Env {
+	b.Helper()
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	e, err := experiments.NewEnv(experiments.Options{
+		Config:       cfg,
+		GridCycles:   8_000,
+		GridWarmup:   1_000,
+		EvalCycles:   20_000,
+		EvalWarmup:   1_000,
+		WindowCycles: 1_000,
+		Workloads: []workload.Workload{
+			workload.MustMake("BLK", "BFS"),
+			workload.MustMake("BFS", "FFT"),
+		},
+		SimCache: dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchFigsPanel(b *testing.B, e *experiments.Env) {
+	b.Helper()
+	x, ok := experiments.ByID("fig9")
+	if !ok {
+		b.Fatal("fig9 not registered")
+	}
+	if err := x.Run(e, io.Discard); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPaperFigsQuickCold measures the cold path of the warm-cache
+// workflow: every iteration profiles, builds grids, and evaluates into a
+// fresh (empty) result cache, as a first `paperfigs -all -quick` would.
+func BenchmarkPaperFigsQuickCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchFigsPanel(b, benchFigsEnv(b, b.TempDir()))
+	}
+}
+
+// BenchmarkPaperFigsQuickWarm is the same work against a prewarmed cache:
+// a fresh environment per iteration whose every simulation replays from
+// disk. The Makefile's figs-bench target asserts this stays at most 0.2x
+// of the cold benchmark (the >=5x warm speedup contract).
+func BenchmarkPaperFigsQuickWarm(b *testing.B) {
+	dir := b.TempDir()
+	benchFigsPanel(b, benchFigsEnv(b, dir)) // prewarm: pay the simulations once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchFigsPanel(b, benchFigsEnv(b, dir))
+	}
+}
+
 // --- Substrate microbenchmarks. ---
 
 // BenchmarkSimulatorCycles measures raw simulation speed: simulated core

@@ -19,6 +19,11 @@
 // Performance diagnosis: -cpuprofile and -memprofile write pprof profiles
 // of the run (inspect with `go tool pprof`); see DESIGN.md's Performance
 // section for the benchmark workflow.
+//
+// -simcache DIR persists simulation results content-addressed by their
+// full configuration; a repeated invocation with identical flags replays
+// bit-identically from disk. Runs with -trace/-chrometrace/-listen bypass
+// the cache (they need the live event stream).
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"ebm/internal/obs"
 	"ebm/internal/profile"
 	"ebm/internal/sim"
+	"ebm/internal/simcache"
 	"ebm/internal/tlp"
 	"ebm/internal/workload"
 )
@@ -51,6 +57,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 10_000, "warmup cycles excluded from metrics")
 		window  = flag.Uint64("window", 2_500, "sampling window in cycles")
 		cache   = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
+		simc    = flag.String("simcache", "", "simulation-result cache directory (empty disables)")
 		verbose = flag.Bool("v", false, "print per-application details")
 		traceF  = flag.String("trace", "", "write per-window TLP/EB/BW/CMR time series to a CSV file")
 		chromeF = flag.String("chrometrace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
@@ -63,8 +70,18 @@ func main() {
 
 	cfg := config.Default()
 
+	var rcache *simcache.Cache
+	if *simc != "" {
+		var err error
+		rcache, err = simcache.Open(*simc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *alone != "" {
-		runAlone(cfg, *alone)
+		runAlone(cfg, *alone, rcache)
 		return
 	}
 	if *wlName == "" {
@@ -85,7 +102,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ebsim: using %d cores for an equal %d-way split\n",
 			cfg.NumCores, len(wl.Apps))
 	}
-	profOpts := profile.Options{Config: cfg, CoresAlone: cfg.NumCores / len(wl.Apps)}
+	profOpts := profile.Options{Config: cfg, CoresAlone: cfg.NumCores / len(wl.Apps), Cache: rcache}
 	cachePath := *cache
 	if len(wl.Apps) != 2 && cachePath != "" {
 		// The default cache holds half-machine profiles; keep other
@@ -147,7 +164,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ebsim: serving metrics on http://%s/metrics\n", srv.Addr)
 	}
 
-	s, err := sim.New(sim.Options{
+	runOpts := sim.Options{
 		Config:             cfg,
 		Apps:               wl.Apps,
 		Manager:            mgr,
@@ -156,13 +173,33 @@ func main() {
 		WindowCycles:       *window,
 		DesignatedSampling: true,
 		VictimTags:         victimTags,
-		Obs:                observer,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(1)
 	}
-	res := s.Run()
+	var res sim.Result
+	if rcache != nil && observer == nil {
+		// Hook-free runs go through the result cache: a repeated
+		// invocation with identical flags replays bit-identically from
+		// disk. Observed runs must execute for their event streams, so
+		// they bypass the cache.
+		res, err = simcache.RunCached(rcache, nil, 0, simcache.Spec(runOpts), func() (sim.Result, error) {
+			s, err := sim.New(runOpts)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return s.Run(), nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		runOpts.Obs = observer
+		s, err := sim.New(runOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+		res = s.Run()
+	}
 
 	if *traceF != "" {
 		writeFile(*traceF, func(f *os.File) error {
@@ -251,7 +288,9 @@ func startProfiles(cpuPath, memPath string) func() {
 func makeManager(scheme, tlpsFlag string, bestTLPs []int, numApps int) (tlp.Manager, error) {
 	switch scheme {
 	case "besttlp":
-		return tlp.NewStatic("++bestTLP", bestTLPs, nil), nil
+		// The combination is part of the name so that the cache key fully
+		// identifies the run even when re-profiling changes the best TLPs.
+		return tlp.NewStatic(fmt.Sprintf("++bestTLP%v", bestTLPs), bestTLPs, nil), nil
 	case "maxtlp":
 		return tlp.NewMaxTLP(numApps), nil
 	case "dyncta":
@@ -288,13 +327,13 @@ func makeManager(scheme, tlpsFlag string, bestTLPs []int, numApps int) (tlp.Mana
 	}
 }
 
-func runAlone(cfg config.GPU, name string) {
+func runAlone(cfg config.GPU, name string, rcache *simcache.Cache) {
 	app, ok := kernel.ByName(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ebsim: unknown application %q; apps: %v\n", name, kernel.Names())
 		os.Exit(2)
 	}
-	p, err := profile.ProfileApp(app, profile.Options{Config: cfg})
+	p, err := profile.ProfileApp(app, profile.Options{Config: cfg, Cache: rcache})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ebsim:", err)
 		os.Exit(1)

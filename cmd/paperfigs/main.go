@@ -10,6 +10,8 @@
 //	paperfigs -all -out results/  # additionally write one file per panel
 //
 // Alone-run profiles are cached in ./profiles.json by default (-cache "").
+// Simulation results are cached under ./simcache by default (-simcache "");
+// a warm rerun replays grids, evaluations, and profiles from disk.
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 		all   = flag.Bool("all", false, "run every experiment")
 		quick = flag.Bool("quick", false, "reduced run lengths and the 10 representative workloads")
 		cache = flag.String("cache", "profiles.json", "alone-profile cache path (empty disables)")
+		simc  = flag.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
 		out   = flag.String("out", "", "directory to also write one text file per experiment")
 	)
 	flag.Parse()
@@ -46,7 +49,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := experiments.Options{ProfileCache: *cache}
+	opt := experiments.Options{ProfileCache: *cache, SimCache: *simc}
 	if *quick {
 		opt.GridCycles = 60_000
 		opt.GridWarmup = 10_000
@@ -61,6 +64,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "profiles ready in %.1fs\n", time.Since(start).Seconds())
+	defer func() {
+		if c := env.Cache(); c != nil {
+			s := c.Stats()
+			fmt.Fprintf(os.Stderr, "simcache: %d hits, %d misses, %d results persisted (%s)\n",
+				s.Hits, s.Misses, s.Writes, c.Dir())
+		}
+	}()
 
 	run := func(x experiments.Experiment) error {
 		var w io.Writer = os.Stdout

@@ -12,10 +12,16 @@
 // The grid's combinations run concurrently; -parallel bounds the worker
 // count (default: all CPUs, runtime.NumCPU). Per-combination progress is
 // journaled and echoed to stderr; -listen additionally serves live
-// ebm_sweep_combos_done/total gauges on /metrics. -o tees the report into
-// a file (parent directories are created). -cpuprofile/-memprofile write
-// pprof profiles of the build. Wall-clock time and simulations per second
-// are reported on stderr at exit.
+// ebm_sweep_combos_done/total gauges (plus cache hit/miss counters) on
+// /metrics. -o tees the report into a file (parent directories are
+// created). -cpuprofile/-memprofile write pprof profiles of the build.
+// Wall-clock time and simulations per second are reported on stderr at
+// exit.
+//
+// Results are persisted per combination under -simcache (default
+// ./simcache), so an interrupted sweep resumes where it left off: already
+// persisted combinations replay from disk, only the missing ones are
+// simulated.
 package main
 
 import (
@@ -34,8 +40,10 @@ import (
 	"ebm/internal/metrics"
 	"ebm/internal/obs"
 	"ebm/internal/profile"
+	"ebm/internal/runner"
 	"ebm/internal/search"
 	"ebm/internal/sim"
+	"ebm/internal/simcache"
 	"ebm/internal/workload"
 )
 
@@ -46,6 +54,7 @@ func main() {
 		cycles   = flag.Uint64("cycles", 120_000, "cycles per combination")
 		warmup   = flag.Uint64("warmup", 20_000, "warmup cycles")
 		cache    = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
+		simc     = flag.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent grid simulations (default: all CPUs)")
 		outPath  = flag.String("o", "", "also write the report to this file, e.g. results/blk_trd.txt")
 		listen   = flag.String("listen", "", "serve live sweep-progress metrics on this address, e.g. :8080")
@@ -78,11 +87,12 @@ func main() {
 	}
 
 	start := time.Now()
-	sims := 0
+	sims := 0   // simulations actually executed this run
+	cached := 0 // results replayed from the on-disk cache
 	defer func() {
 		elapsed := time.Since(start)
-		fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%.1f sims/s)\n",
-			sims, elapsed.Round(time.Millisecond), float64(sims)/elapsed.Seconds())
+		fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%.1f sims/s), %d replayed from cache\n",
+			sims, elapsed.Round(time.Millisecond), float64(sims)/elapsed.Seconds(), cached)
 	}()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -118,7 +128,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	suite, err := profile.LoadOrProfile(*cache, kernel.All(), profile.Options{Config: cfg})
+	// The result cache is what makes an interrupted sweep resumable:
+	// every finished combination is persisted as it completes, and a rerun
+	// replays those cells instead of re-simulating them. The pool bounds
+	// execution at -parallel workers.
+	var rcache *simcache.Cache
+	if *simc != "" {
+		var err error
+		rcache, err = simcache.Open(*simc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+	pool := runner.New(*parallel)
+	defer pool.Close()
+
+	suite, err := profile.LoadOrProfile(*cache, kernel.All(), profile.Options{
+		Config: cfg, Runner: pool, Cache: rcache,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
@@ -142,6 +170,8 @@ func main() {
 		reg := obs.NewRegistry()
 		doneG = reg.Gauge("ebm_sweep_combos_done", "grid combinations simulated so far")
 		totalG = reg.Gauge("ebm_sweep_combos_total", "grid combinations in this sweep")
+		pool.Instrument(reg)
+		rcache.Instrument(reg)
 		srv, err := obs.Serve(*listen, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -154,6 +184,8 @@ func main() {
 	g, err := search.BuildGrid(wl.Apps, search.GridOptions{
 		Config: cfg, TotalCycles: *cycles, WarmupCycles: *warmup,
 		Parallelism: *parallel,
+		Runner:      pool,
+		Cache:       rcache,
 		Progress: func(done, total int, combo []int) {
 			totalG.Set(float64(total))
 			doneG.Set(float64(done))
@@ -168,6 +200,14 @@ func main() {
 		os.Exit(1)
 	}
 	sims = len(g.Results)
+	if rcache != nil {
+		// Every executed simulation is persisted on completion, so the
+		// write count is the number of runs this invocation actually paid
+		// for; hits are cells (and profiles) replayed from disk.
+		s := rcache.Stats()
+		sims = int(s.Writes + s.WriteFails)
+		cached = int(s.Hits)
+	}
 
 	surfaces := map[string]struct {
 		title string

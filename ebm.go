@@ -6,8 +6,10 @@ import (
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/profile"
+	"ebm/internal/runner"
 	"ebm/internal/search"
 	"ebm/internal/sim"
+	"ebm/internal/simcache"
 	"ebm/internal/tlp"
 	"ebm/internal/trace"
 	"ebm/internal/workload"
@@ -201,6 +203,25 @@ type Recorder = trace.Recorder
 // NewRecorder builds a Recorder for numApps applications; install its Hook
 // as RunOptions.OnWindow.
 func NewRecorder(numApps int) *Recorder { return trace.NewRecorder(numApps) }
+
+// Runner is the process-wide bounded simulation executor: a priority
+// queue with singleflight dedup that profiles, grids, and evaluations
+// all submit to.
+type Runner = runner.Runner
+
+// NewRunner starts a private pool (tests, embedding); most callers want
+// DefaultRunner.
+func NewRunner(workers int) *Runner { return runner.New(workers) }
+
+// DefaultRunner returns the shared process-wide pool.
+func DefaultRunner() *Runner { return runner.Default() }
+
+// SimCache is the versioned, content-addressed on-disk cache of
+// simulation results; cached results are bit-identical to fresh ones.
+type SimCache = simcache.Cache
+
+// OpenSimCache opens (creating if needed) a result cache rooted at dir.
+func OpenSimCache(dir string) (*SimCache, error) { return simcache.Open(dir) }
 
 // HardwareCost itemizes the mechanism's hardware overheads (Fig. 8).
 type HardwareCost = pbscore.HardwareCost

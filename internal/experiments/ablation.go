@@ -203,7 +203,7 @@ func ablSampling(e *Env, w io.Writer) error {
 			return err
 		}
 		run := func(designated bool) (float64, error) {
-			s, err := sim.New(sim.Options{
+			r, err := e.RunSim(sim.Options{
 				Config:             e.Opt.Config,
 				Apps:               wl.Apps,
 				Manager:            pbscore.NewPBS(metrics.ObjWS),
@@ -215,7 +215,7 @@ func ablSampling(e *Env, w io.Writer) error {
 			if err != nil {
 				return 0, err
 			}
-			return metrics.WS(SD(s.Run(), aloneIPC)), nil
+			return metrics.WS(SD(r, aloneIPC)), nil
 		}
 		des, err := run(true)
 		if err != nil {

@@ -15,8 +15,10 @@ import (
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/profile"
+	"ebm/internal/runner"
 	"ebm/internal/search"
 	"ebm/internal/sim"
+	"ebm/internal/simcache"
 	"ebm/internal/tlp"
 	"ebm/internal/workload"
 )
@@ -45,6 +47,15 @@ type Options struct {
 	Workloads []workload.Workload
 
 	Parallelism int
+
+	// SimCache, when non-empty, is the directory of the shared on-disk
+	// simulation-result cache: grids, evaluation runs, and alone profiles
+	// all persist there and replay on later runs.
+	SimCache string
+
+	// Runner is the execution pool simulations are submitted to. Nil
+	// means the process-wide runner.Default().
+	Runner *runner.Runner
 }
 
 func (o *Options) fillDefaults() {
@@ -71,11 +82,15 @@ func (o *Options) fillDefaults() {
 	}
 }
 
-// Env carries the shared state: the machine, the alone profiles, and a
-// per-workload grid cache.
+// Env carries the shared state: the machine, the alone profiles, the
+// execution pool, and the in-process + on-disk result caches.
 type Env struct {
 	Opt   Options
 	Suite *profile.Suite
+
+	cache *simcache.Cache
+	pool  *runner.Runner // nil = runner.Default() at submission time
+	sf    runner.Group   // collapses duplicate grid builds / evals
 
 	mu        sync.Mutex
 	grids     map[string]*search.Grid
@@ -86,20 +101,47 @@ type Env struct {
 // returns a ready environment.
 func NewEnv(opt Options) (*Env, error) {
 	opt.fillDefaults()
+	var cache *simcache.Cache
+	if opt.SimCache != "" {
+		var err error
+		cache, err = simcache.Open(opt.SimCache)
+		if err != nil {
+			return nil, err
+		}
+	}
 	suite, err := profile.LoadOrProfile(opt.ProfileCache, kernel.All(), profile.Options{
 		Config:       opt.Config,
 		TotalCycles:  opt.GridCycles,
 		WarmupCycles: opt.GridWarmup,
 		Parallelism:  opt.Parallelism,
+		Runner:       opt.Runner,
+		Cache:        cache,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Opt: opt, Suite: suite, grids: map[string]*search.Grid{}}, nil
+	return &Env{
+		Opt:       opt,
+		Suite:     suite,
+		cache:     cache,
+		pool:      opt.Runner,
+		grids:     map[string]*search.Grid{},
+		evalCache: map[string]*Eval{},
+	}, nil
 }
 
+// Cache returns the environment's result cache (nil when -simcache is
+// off), e.g. for hit/miss reporting and obs instrumentation.
+func (e *Env) Cache() *simcache.Cache { return e.cache }
+
+// buildGrid is search.BuildGrid, replaceable in tests (the Env.Grid
+// duplicate-build regression test swaps in a blocking build).
+var buildGrid = search.BuildGrid
+
 // Grid returns (building and caching on first use) the exhaustive
-// TLP-combination grid for a workload.
+// TLP-combination grid for a workload. Concurrent callers for the same
+// workload share one build via singleflight — previously both would miss
+// the map and build the full grid twice.
 func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 	e.mu.Lock()
 	g, ok := e.grids[w.Name]
@@ -107,19 +149,33 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 	if ok {
 		return g, nil
 	}
-	g, err := search.BuildGrid(w.Apps, search.GridOptions{
-		Config:       e.Opt.Config,
-		TotalCycles:  e.Opt.GridCycles,
-		WarmupCycles: e.Opt.GridWarmup,
-		Parallelism:  e.Opt.Parallelism,
+	v, _, err := e.sf.Do("grid:"+w.Name, func() (any, error) {
+		e.mu.Lock()
+		g, ok := e.grids[w.Name]
+		e.mu.Unlock()
+		if ok {
+			return g, nil
+		}
+		g, err := buildGrid(w.Apps, search.GridOptions{
+			Config:       e.Opt.Config,
+			TotalCycles:  e.Opt.GridCycles,
+			WarmupCycles: e.Opt.GridWarmup,
+			Parallelism:  e.Opt.Parallelism,
+			Runner:       e.pool,
+			Cache:        e.cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.grids[w.Name] = g
+		e.mu.Unlock()
+		return g, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	e.grids[w.Name] = g
-	e.mu.Unlock()
-	return g, nil
+	return v.(*search.Grid), nil
 }
 
 // RunStatic runs a workload at a fixed TLP combination for the evaluation
@@ -139,8 +195,21 @@ func (e *Env) RunTraced(w workload.Workload, m tlp.Manager, hook func(tlp.Sample
 	return e.run(w, m, hook)
 }
 
+// RunSim executes arbitrary replayable sim options (no hooks, no
+// observers; the manager must be fully identified by its Name) through
+// the shared executor and the on-disk result cache.
+func (e *Env) RunSim(o sim.Options) (sim.Result, error) {
+	return simcache.RunCached(e.cache, e.pool, runner.PriEval, simcache.Spec(o), func() (sim.Result, error) {
+		s, err := sim.New(o)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return s.Run(), nil
+	})
+}
+
 func (e *Env) run(w workload.Workload, m tlp.Manager, hook func(tlp.Sample)) (sim.Result, error) {
-	s, err := sim.New(sim.Options{
+	o := sim.Options{
 		Config:             e.Opt.Config,
 		Apps:               w.Apps,
 		Manager:            m,
@@ -148,12 +217,29 @@ func (e *Env) run(w workload.Workload, m tlp.Manager, hook func(tlp.Sample)) (si
 		WarmupCycles:       e.Opt.EvalWarmup,
 		WindowCycles:       e.Opt.WindowCycles,
 		DesignatedSampling: true,
-		OnWindow:           hook,
+	}
+	if hook == nil {
+		return e.RunSim(o)
+	}
+	// Traced runs fire a per-window callback: they go through the pool for
+	// scheduling but are never cached or deduplicated — the side effects
+	// must happen on every call.
+	o.OnWindow = hook
+	pool := e.pool
+	if pool == nil {
+		pool = runner.Default()
+	}
+	v, err := pool.Do("", runner.PriEval, func() (any, error) {
+		s, err := sim.New(o)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(), nil
 	})
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return s.Run(), nil
+	return v.(sim.Result), nil
 }
 
 // Alone returns (aloneIPC, aloneEB, bestTLPs) for a workload's apps.
@@ -265,26 +351,9 @@ func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
 		Outcomes: map[string]Outcome{},
 	}
 
-	// Re-run each distinct static combo once at evaluation length.
-	type key string
-	comboKey := func(c []int) key { return key(fmt.Sprint(c)) }
-	staticResults := map[key]sim.Result{}
-	for _, c := range combos {
-		k := comboKey(c)
-		if _, ok := staticResults[k]; ok {
-			continue
-		}
-		r, err := e.RunStatic(w, c)
-		if err != nil {
-			return nil, err
-		}
-		staticResults[k] = r
-	}
-	for name, c := range combos {
-		ev.add(name, c, staticResults[comboKey(c)], aloneIPC)
-	}
-
-	// Online schemes.
+	// All evaluation-length runs are independent leaf simulations: fan
+	// them out on the shared pool — each distinct static combo once, plus
+	// every online scheme — and collect under one lock.
 	online := []struct {
 		name string
 		mk   func() tlp.Manager
@@ -295,12 +364,63 @@ func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
 		{SchPBSFI, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjFI) }},
 		{SchPBSHS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjHS) }},
 	}
-	for _, o := range online {
-		r, err := e.RunManaged(w, o.mk())
-		if err != nil {
-			return nil, err
+	type key string
+	comboKey := func(c []int) key { return key(fmt.Sprint(c)) }
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	staticResults := map[key]sim.Result{}
+	for _, c := range combos {
+		k := comboKey(c)
+		if _, ok := staticResults[k]; ok {
+			continue
 		}
-		ev.add(o.name, nil, r, aloneIPC)
+		staticResults[k] = sim.Result{} // claim; filled below
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := e.RunStatic(w, c)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			staticResults[k] = r
+		}()
+	}
+	onlineResults := make([]sim.Result, len(online))
+	for i, o := range online {
+		i, o := i, o
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := e.RunManaged(w, o.mk())
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			onlineResults[i] = r
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for name, c := range combos {
+		ev.add(name, c, staticResults[comboKey(c)], aloneIPC)
+	}
+	for i, o := range online {
+		ev.add(o.name, nil, onlineResults[i], aloneIPC)
 	}
 	return ev, nil
 }

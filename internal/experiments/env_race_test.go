@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/search"
+	"ebm/internal/workload"
+)
+
+// TestGridSingleflightUnderConcurrency is the regression test for the
+// duplicate-build race: previously two callers could both miss the map
+// (the mutex was released between lookup and build) and build the full
+// grid twice. With a blocking build standing in, every concurrent caller
+// must share one build and one resulting grid.
+func TestGridSingleflightUnderConcurrency(t *testing.T) {
+	old := buildGrid
+	defer func() { buildGrid = old }()
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	buildGrid = func(apps []kernel.Params, opts search.GridOptions) (*search.Grid, error) {
+		builds.Add(1)
+		<-gate
+		return old(apps, opts)
+	}
+
+	env := testEnv(t)
+	wl := workload.MustMake("BLK", "BFS")
+	const callers = 8
+	grids := make([]*search.Grid, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := env.Grid(wl)
+			if err != nil {
+				t.Error(err)
+			}
+			grids[i] = g
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for builds.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("build never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give the remaining callers time to reach Grid while the one build
+	// is parked on the gate — under the old code they would each start
+	// their own build and builds would exceed 1 before the gate opens.
+	time.Sleep(20 * time.Millisecond)
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds started concurrently, want 1", n)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if grids[i] != grids[0] {
+			t.Fatalf("caller %d got a different grid instance", i)
+		}
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("%d builds, want 1", builds.Load())
+	}
+}
+
+// TestEnvWarmSimCacheBitIdentical: a second environment sharing the same
+// -simcache directory replays evaluation results from disk, bit-identical
+// to the cold computation.
+func TestEnvWarmSimCacheBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Env {
+		t.Helper()
+		cfg := config.Default()
+		cfg.NumCores = 4
+		cfg.NumMemPartitions = 4
+		env, err := NewEnv(Options{
+			Config:       cfg,
+			GridCycles:   8_000,
+			GridWarmup:   1_000,
+			EvalCycles:   20_000,
+			EvalWarmup:   1_000,
+			WindowCycles: 1_000,
+			Workloads:    []workload.Workload{workload.MustMake("BLK", "BFS")},
+			Parallelism:  2,
+			SimCache:     dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+
+	cold := mk()
+	ev1, err := cold.EvalWorkload(cold.Opt.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache().Stats().Writes == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	warm := mk()
+	before := warm.Cache().Stats()
+	ev2, err := warm.EvalWorkload(warm.Opt.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := warm.Cache().Stats()
+	if after.Hits == before.Hits {
+		t.Fatal("warm run never touched the cache")
+	}
+	if after.Writes != before.Writes {
+		t.Fatalf("warm run re-simulated %d runs", after.Writes-before.Writes)
+	}
+	// reflect.DeepEqual over float64 fields is exact bit comparison for
+	// the non-NaN values the engine produces: the determinism guarantee.
+	if !reflect.DeepEqual(ev1.Outcomes, ev2.Outcomes) {
+		t.Fatal("warm outcomes differ from cold outcomes")
+	}
+}

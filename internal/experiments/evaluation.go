@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	pbscore "ebm/internal/core"
 	"ebm/internal/metrics"
@@ -17,31 +18,70 @@ func evalSDHS(aloneIPC []float64) search.Eval { return search.SDEval(metrics.Obj
 func evalEBHS(aloneEB []float64) search.Eval  { return search.EBEval(metrics.ObjHS, aloneEB) }
 
 // evals computes (with caching) the full scheme evaluation for every
-// workload in the environment's evaluation set.
+// workload in the environment's evaluation set. Workloads evaluate
+// concurrently — each EvalWorkload is an orchestrator on its own
+// goroutine submitting leaf simulations to the shared pool — and
+// singleflight collapses duplicate requests for the same workload.
 func (e *Env) evals() (map[string]*Eval, error) {
-	e.mu.Lock()
-	if e.evalCache == nil {
-		e.evalCache = map[string]*Eval{}
-	}
-	e.mu.Unlock()
 	out := map[string]*Eval{}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	for _, wl := range e.Opt.Workloads {
+		wl := wl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev, err := e.evalOf(wl)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			out[wl.Name] = ev
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// evalOf returns the cached evaluation for one workload, computing it at
+// most once even under concurrent callers.
+func (e *Env) evalOf(wl workload.Workload) (*Eval, error) {
+	e.mu.Lock()
+	ev, ok := e.evalCache[wl.Name]
+	e.mu.Unlock()
+	if ok {
+		return ev, nil
+	}
+	v, _, err := e.sf.Do("eval:"+wl.Name, func() (any, error) {
 		e.mu.Lock()
 		ev, ok := e.evalCache[wl.Name]
 		e.mu.Unlock()
-		if !ok {
-			var err error
-			ev, err = e.EvalWorkload(wl)
-			if err != nil {
-				return nil, err
-			}
-			e.mu.Lock()
-			e.evalCache[wl.Name] = ev
-			e.mu.Unlock()
+		if ok {
+			return ev, nil
 		}
-		out[wl.Name] = ev
+		ev, err := e.EvalWorkload(wl)
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.evalCache[wl.Name] = ev
+		e.mu.Unlock()
+		return ev, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return v.(*Eval), nil
 }
 
 // metricOf extracts one objective's value from an outcome.

@@ -50,7 +50,7 @@ func extraCCWS(e *Env, w io.Writer) error {
 			{"++CCWS", func() tlp.Manager { return tlp.NewCCWS() }},
 			{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
 		} {
-			s, err := sim.New(sim.Options{
+			r, err := e.RunSim(sim.Options{
 				Config:             e.Opt.Config,
 				Apps:               wl.Apps,
 				Manager:            sch.mk(),
@@ -63,7 +63,7 @@ func extraCCWS(e *Env, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			sd := SD(s.Run(), aloneIPC)
+			sd := SD(r, aloneIPC)
 			t.row(wl.Name, sch.name,
 				fmt.Sprintf("%.3f", metrics.WS(sd)), fmt.Sprintf("%.3f", metrics.FI(sd)))
 		}
@@ -145,6 +145,8 @@ func extraRefresh(e *Env, w io.Writer) error {
 			CoresAlone:   cfg.NumCores,
 			TotalCycles:  e.Opt.GridCycles,
 			WarmupCycles: e.Opt.GridWarmup,
+			Runner:       e.pool,
+			Cache:        e.cache,
 		})
 		if err != nil {
 			return err

@@ -42,6 +42,9 @@ func Fig2(e *Env, w io.Writer) error {
 		Config:       e.Opt.Config,
 		TotalCycles:  e.Opt.GridCycles,
 		WarmupCycles: e.Opt.GridWarmup,
+		Parallelism:  e.Opt.Parallelism,
+		Runner:       e.pool,
+		Cache:        e.cache,
 	})
 	if err != nil {
 		return err
@@ -71,6 +74,8 @@ func Fig3(e *Env, w io.Writer) error {
 		Config:       e.Opt.Config,
 		TotalCycles:  e.Opt.GridCycles,
 		WarmupCycles: e.Opt.GridWarmup,
+		Runner:       e.pool,
+		Cache:        e.cache,
 	})
 	if err != nil {
 		return err

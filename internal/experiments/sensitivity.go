@@ -43,10 +43,14 @@ func SensCores(e *Env, w io.Writer) error {
 			name string
 			mk   func() tlp.Manager
 		}{
-			{SchBestTLP, func() tlp.Manager { return tlp.NewStatic(SchBestTLP, bestTLPs, nil) }},
+			// The static manager's name embeds the combination so the
+			// result-cache key fully identifies the run.
+			{SchBestTLP, func() tlp.Manager {
+				return tlp.NewStatic(fmt.Sprintf("static%v", bestTLPs), bestTLPs, nil)
+			}},
 			{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
 		} {
-			s, err := sim.New(sim.Options{
+			r, err := e.RunSim(sim.Options{
 				Config:             e.Opt.Config,
 				Apps:               wl.Apps,
 				CoresPerApp:        split,
@@ -59,7 +63,6 @@ func SensCores(e *Env, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			r := s.Run()
 			sd := SD(r, aloneIPC)
 			ws := metrics.WS(sd)
 			if sch.name == SchBestTLP {
@@ -102,10 +105,12 @@ func SensL2(e *Env, w io.Writer) error {
 			name string
 			mk   func() tlp.Manager
 		}{
-			{SchBestTLP, func() tlp.Manager { return tlp.NewStatic(SchBestTLP, bestTLPs, nil) }},
+			{SchBestTLP, func() tlp.Manager {
+				return tlp.NewStatic(fmt.Sprintf("static%v", bestTLPs), bestTLPs, nil)
+			}},
 			{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
 		} {
-			s, err := sim.New(sim.Options{
+			r, err := e.RunSim(sim.Options{
 				Config:             e.Opt.Config,
 				Apps:               wl.Apps,
 				Manager:            sch.mk(),
@@ -118,7 +123,6 @@ func SensL2(e *Env, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			r := s.Run()
 			sd := SD(r, aloneIPC)
 			t.row(part.name, sch.name,
 				fmt.Sprintf("%.3f", metrics.WS(sd)), fmt.Sprintf("%.3f", metrics.FI(sd)))
@@ -152,6 +156,8 @@ func ThreeApp(e *Env, w io.Writer) error {
 				CoresAlone:   cfg.NumCores / 3,
 				TotalCycles:  e.Opt.GridCycles,
 				WarmupCycles: e.Opt.GridWarmup,
+				Runner:       e.pool,
+				Cache:        e.cache,
 			})
 			if err != nil {
 				return nil, err
@@ -176,13 +182,15 @@ func ThreeApp(e *Env, w io.Writer) error {
 			name string
 			mk   func() tlp.Manager
 		}{
-			{SchBestTLP, func() tlp.Manager { return tlp.NewStatic(SchBestTLP, bestTLPs, nil) }},
+			{SchBestTLP, func() tlp.Manager {
+				return tlp.NewStatic(fmt.Sprintf("static%v", bestTLPs), bestTLPs, nil)
+			}},
 			{SchMaxTLP, func() tlp.Manager { return tlp.NewMaxTLP(len(wl.Apps)) }},
 			{SchDynCTA, func() tlp.Manager { return tlp.NewDynCTA() }},
 			{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
 		}
 		for _, sch := range schemes {
-			s, err := sim.New(sim.Options{
+			r, err := e.RunSim(sim.Options{
 				Config:             cfg,
 				Apps:               wl.Apps,
 				Manager:            sch.mk(),
@@ -194,7 +202,6 @@ func ThreeApp(e *Env, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			r := s.Run()
 			sd := SD(r, aloneIPC)
 			final := make([]int, len(wl.Apps))
 			for i := range final {

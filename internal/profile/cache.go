@@ -7,6 +7,7 @@ import (
 
 	"ebm/internal/config"
 	"ebm/internal/kernel"
+	"ebm/internal/simcache"
 )
 
 // cacheFile is the on-disk representation of a profiled suite, fingerprinted
@@ -19,10 +20,12 @@ type cacheFile struct {
 }
 
 // Fingerprint derives a stable identity for the profiling setup: machine,
-// applications, run lengths, alone core share, and TLP levels.
+// applications, run lengths, alone core share, and TLP levels. The struct
+// shape and hash must stay byte-compatible with historical fingerprints so
+// committed profile caches remain valid.
 func Fingerprint(opts Options, apps []kernel.Params) string {
 	opts.fillDefaults()
-	b, err := json.Marshal(struct {
+	return simcache.HashJSON(struct {
 		Cfg        config.GPU
 		Apps       []kernel.Params
 		Total      uint64
@@ -30,15 +33,6 @@ func Fingerprint(opts Options, apps []kernel.Params) string {
 		CoresAlone int
 		Levels     []int
 	}{opts.Config, apps, opts.TotalCycles, opts.WarmupCycles, opts.CoresAlone, opts.Levels})
-	if err != nil {
-		panic(err) // plain data structs always marshal
-	}
-	var h uint64 = 1469598103934665603
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return fmt.Sprintf("%016x", h)
 }
 
 // Save writes the suite to path with the given fingerprint.
@@ -76,8 +70,16 @@ func Load(path, fingerprint string) (*Suite, error) {
 	return &Suite{Profiles: cf.Profiles, GroupMeanEB: cf.GroupMeanEB}, nil
 }
 
+// Warnf reports non-fatal profiling problems (stderr by default;
+// replaceable for tests or embedding).
+var Warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // LoadOrProfile returns the cached suite at path when valid, otherwise
-// profiles the applications and (best effort) refreshes the cache.
+// profiles the applications and (best effort) refreshes the cache. A
+// failed cache save is a warning, never an error: the freshly profiled
+// suite is perfectly good, the next run just profiles again.
 func LoadOrProfile(path string, apps []kernel.Params, opts Options) (*Suite, error) {
 	opts.fillDefaults()
 	fp := Fingerprint(opts, apps)
@@ -92,7 +94,7 @@ func LoadOrProfile(path string, apps []kernel.Params, opts Options) (*Suite, err
 	}
 	if path != "" {
 		if err := s.Save(path, fp); err != nil {
-			return s, fmt.Errorf("profile: suite ready but cache not saved: %w", err)
+			Warnf("profile: warning: suite ready but cache not saved: %v", err)
 		}
 	}
 	return s, nil

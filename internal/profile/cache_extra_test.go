@@ -1,0 +1,131 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/simcache"
+)
+
+// TestFingerprintMatchesHistoricalAlgorithm pins the fingerprint to the
+// exact bytes the pre-simcache inline FNV-1a produced, so committed
+// profile caches (profiles.json et al.) stay valid across the refactor.
+func TestFingerprintMatchesHistoricalAlgorithm(t *testing.T) {
+	opts := smallOpts()
+	apps := someApps("BLK", "JPEG")
+	o := opts
+	o.fillDefaults()
+	b, err := json.Marshal(struct {
+		Cfg        config.GPU
+		Apps       []kernel.Params
+		Total      uint64
+		Warmup     uint64
+		CoresAlone int
+		Levels     []int
+	}{o.Config, apps, o.TotalCycles, o.WarmupCycles, o.CoresAlone, o.Levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h uint64 = 1469598103934665603
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	want := fmt.Sprintf("%016x", h)
+	if got := Fingerprint(opts, apps); got != want {
+		t.Fatalf("Fingerprint = %s, historical algorithm gives %s", got, want)
+	}
+}
+
+func TestFingerprintInvalidation(t *testing.T) {
+	base := smallOpts()
+	apps := someApps("BLK")
+	fp := Fingerprint(base, apps)
+
+	mutations := map[string]func(*Options){
+		"config":       func(o *Options) { o.Config.NumMemPartitions *= 2 },
+		"levels":       func(o *Options) { o.Levels = []int{1, 2} },
+		"total cycles": func(o *Options) { o.TotalCycles += 1000 },
+		"warmup":       func(o *Options) { o.WarmupCycles += 500 },
+		"cores alone":  func(o *Options) { o.CoresAlone = 1 },
+	}
+	for name, mutate := range mutations {
+		o := smallOpts()
+		mutate(&o)
+		if Fingerprint(o, apps) == fp {
+			t.Errorf("fingerprint insensitive to %s change", name)
+		}
+	}
+	if Fingerprint(base, someApps("BLK", "JPEG")) == fp {
+		t.Error("fingerprint insensitive to app set")
+	}
+	if Fingerprint(base, apps) != fp {
+		t.Error("fingerprint not stable")
+	}
+}
+
+// TestLoadOrProfileSaveFailureIsWarning: an unwritable cache path must not
+// discard a freshly profiled suite — it warns and returns the suite.
+func TestLoadOrProfileSaveFailureIsWarning(t *testing.T) {
+	var warned []string
+	old := Warnf
+	Warnf = func(format string, args ...any) {
+		warned = append(warned, fmt.Sprintf(format, args...))
+	}
+	defer func() { Warnf = old }()
+
+	// A path whose parent directory does not exist makes Save fail.
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "profiles.json")
+	s, err := LoadOrProfile(bad, someApps("BLK"), smallOpts())
+	if err != nil {
+		t.Fatalf("save failure escalated to error: %v", err)
+	}
+	if s == nil || len(s.Profiles) != 1 {
+		t.Fatalf("suite dropped: %+v", s)
+	}
+	if len(warned) != 1 || !strings.Contains(warned[0], "cache not saved") {
+		t.Fatalf("warning not surfaced: %v", warned)
+	}
+}
+
+// TestProfileSuiteWarmCache: with a result cache attached, a second suite
+// profile replays entirely from disk and produces the identical suite.
+func TestProfileSuiteWarmCache(t *testing.T) {
+	c, err := simcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts()
+	opts.Cache = c
+	apps := someApps("BLK", "JPEG")
+	cold, err := ProfileSuite(apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Writes == 0 {
+		t.Fatal("no results persisted")
+	}
+	before := c.Stats()
+	warm, err := ProfileSuite(apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.Writes != before.Writes {
+		t.Fatal("warm pass re-simulated")
+	}
+	if after.Hits-before.Hits < uint64(len(apps)*len(opts.Levels)) {
+		t.Fatalf("warm pass hits %d, want ≥ %d", after.Hits-before.Hits, len(apps)*len(opts.Levels))
+	}
+	for name, p := range cold.Profiles {
+		w := warm.Profiles[name]
+		if w == nil || w.BestTLP != p.BestTLP || w.BestIPC != p.BestIPC || w.BestEB != p.BestEB {
+			t.Fatalf("warm profile for %s differs: %+v vs %+v", name, w, p)
+		}
+	}
+}

@@ -15,7 +15,9 @@ import (
 
 	"ebm/internal/config"
 	"ebm/internal/kernel"
+	"ebm/internal/runner"
 	"ebm/internal/sim"
+	"ebm/internal/simcache"
 	"ebm/internal/tlp"
 )
 
@@ -29,7 +31,15 @@ type Options struct {
 	Levels       []int
 	TotalCycles  uint64
 	WarmupCycles uint64
-	Parallelism  int
+	// Parallelism bounds how many alone-runs this call keeps in flight at
+	// once (it caps submissions, not pool workers — the pool is shared).
+	Parallelism int
+	// Runner is the execution pool alone-runs are submitted to. Nil means
+	// the process-wide runner.Default().
+	Runner *runner.Runner
+	// Cache, when non-nil, serves alone-runs from the on-disk result
+	// cache and persists fresh ones.
+	Cache *simcache.Cache
 }
 
 func (o *Options) fillDefaults() {
@@ -76,35 +86,38 @@ func (p *AppProfile) AtTLP(tlp int) (LevelResult, bool) {
 	return LevelResult{}, false
 }
 
-// AloneRun simulates one application alone at one TLP level.
+// AloneRun simulates one application alone at one TLP level, through the
+// shared executor (PriProfile — everything downstream waits on profiles)
+// and, when opts.Cache is set, the on-disk result cache.
 func AloneRun(app kernel.Params, tlpLevel int, opts Options) (sim.Result, error) {
 	opts.fillDefaults()
 	cfg := opts.Config
 	cfg.NumCores = opts.CoresAlone
-	s, err := sim.New(sim.Options{
+	name := fmt.Sprintf("alone@%d", tlpLevel)
+	spec := simcache.RunSpec{
 		Config:       cfg,
 		Apps:         []kernel.Params{app},
-		Manager:      tlp.NewStatic(fmt.Sprintf("alone@%d", tlpLevel), []int{tlpLevel}, nil),
+		ManagerID:    name,
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
-	})
-	if err != nil {
-		return sim.Result{}, err
 	}
-	return s.Run(), nil
+	return simcache.RunCached(opts.Cache, opts.Runner, runner.PriProfile, spec, func() (sim.Result, error) {
+		s, err := sim.New(sim.Options{
+			Config:       cfg,
+			Apps:         []kernel.Params{app},
+			Manager:      tlp.NewStatic(name, []int{tlpLevel}, nil),
+			TotalCycles:  opts.TotalCycles,
+			WarmupCycles: opts.WarmupCycles,
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return s.Run(), nil
+	})
 }
 
-// ProfileApp sweeps one application across every TLP level alone.
-func ProfileApp(app kernel.Params, opts Options) (*AppProfile, error) {
-	opts.fillDefaults()
-	p := &AppProfile{Name: app.Name}
-	for _, lvl := range opts.Levels {
-		res, err := AloneRun(app, lvl, opts)
-		if err != nil {
-			return nil, err
-		}
-		p.Levels = append(p.Levels, LevelResult{TLP: lvl, Result: res.Apps[0]})
-	}
+// pickBest selects the level with the highest alone IPC.
+func (p *AppProfile) pickBest() {
 	best := 0
 	for i, l := range p.Levels {
 		if l.Result.IPC > p.Levels[best].Result.IPC {
@@ -114,6 +127,43 @@ func ProfileApp(app kernel.Params, opts Options) (*AppProfile, error) {
 	p.BestTLP = p.Levels[best].TLP
 	p.BestIPC = p.Levels[best].Result.IPC
 	p.BestEB = p.Levels[best].Result.EB
+}
+
+// ProfileApp sweeps one application across every TLP level alone, with the
+// levels in flight concurrently (bounded by opts.Parallelism).
+func ProfileApp(app kernel.Params, opts Options) (*AppProfile, error) {
+	opts.fillDefaults()
+	p := &AppProfile{Name: app.Name, Levels: make([]LevelResult, len(opts.Levels))}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+		ec error
+	)
+	sem := make(chan struct{}, opts.Parallelism)
+	for i, lvl := range opts.Levels {
+		i, lvl := i, lvl
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := AloneRun(app, lvl, opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if ec == nil {
+					ec = err
+				}
+				return
+			}
+			p.Levels[i] = LevelResult{TLP: lvl, Result: res.Apps[0]}
+		}()
+	}
+	wg.Wait()
+	if ec != nil {
+		return nil, ec
+	}
+	p.pickBest()
 	return p, nil
 }
 
@@ -126,43 +176,51 @@ type Suite struct {
 }
 
 // ProfileSuite profiles every application and assigns EB groups by
-// quartile.
+// quartile. The (app, level) grid fans out flat — every alone-run is an
+// independent leaf task on the shared pool — with opts.Parallelism
+// bounding how many this call keeps in flight.
 func ProfileSuite(apps []kernel.Params, opts Options) (*Suite, error) {
 	opts.fillDefaults()
 	s := &Suite{Profiles: make(map[string]*AppProfile, len(apps))}
 
+	profiles := make([]*AppProfile, len(apps))
+	for i, app := range apps {
+		profiles[i] = &AppProfile{Name: app.Name, Levels: make([]LevelResult, len(opts.Levels))}
+	}
 	var (
 		wg sync.WaitGroup
 		mu sync.Mutex
 		ec error
 	)
 	sem := make(chan struct{}, opts.Parallelism)
-	// Each ProfileApp already runs its levels serially; parallelize across
-	// apps but keep total concurrency bounded.
-	inner := opts
-	inner.Parallelism = 1
-	for _, app := range apps {
-		app := app
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			p, err := ProfileApp(app, inner)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if ec == nil {
-					ec = err
+	for ai, app := range apps {
+		for li, lvl := range opts.Levels {
+			ai, app, li, lvl := ai, app, li, lvl
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := AloneRun(app, lvl, opts)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if ec == nil {
+						ec = err
+					}
+					return
 				}
-				return
-			}
-			s.Profiles[app.Name] = p
-		}()
+				profiles[ai].Levels[li] = LevelResult{TLP: lvl, Result: res.Apps[0]}
+			}()
+		}
 	}
 	wg.Wait()
 	if ec != nil {
 		return nil, ec
+	}
+	for _, p := range profiles {
+		p.pickBest()
+		s.Profiles[p.Name] = p
 	}
 	s.assignGroups()
 	return s, nil

@@ -18,7 +18,9 @@ import (
 	"ebm/internal/config"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
+	"ebm/internal/runner"
 	"ebm/internal/sim"
+	"ebm/internal/simcache"
 	"ebm/internal/tlp"
 )
 
@@ -28,7 +30,16 @@ type GridOptions struct {
 	Levels       []int // TLP levels per axis; default config.TLPLevels
 	TotalCycles  uint64
 	WarmupCycles uint64
-	Parallelism  int // concurrent simulations; default NumCPU
+	// Parallelism bounds how many grid cells this build keeps in flight at
+	// once (it caps submissions to the shared pool, not pool workers).
+	Parallelism int
+
+	// Runner is the execution pool cells are submitted to. Nil means the
+	// process-wide runner.Default().
+	Runner *runner.Runner
+	// Cache, when non-nil, serves cells from the on-disk result cache and
+	// persists fresh ones — an interrupted build resumes where it stopped.
+	Cache *simcache.Cache
 
 	// Progress, when non-nil, is called after each combination finishes
 	// with the number completed so far, the grid size, and the combination
@@ -107,7 +118,10 @@ func indexOf(xs []int, x int) int {
 	return -1
 }
 
-// BuildGrid simulates the workload under every TLP combination.
+// BuildGrid simulates the workload under every TLP combination. Each cell
+// is a leaf task on the shared executor (PriGrid — plentiful filler work),
+// served from opts.Cache when a prior build already persisted it, so an
+// interrupted sweep resumes without recomputing finished combinations.
 func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("search: no applications")
@@ -125,38 +139,38 @@ func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
-		next int
 		done int
 		err  error
 	)
-	worker := func() {
-		defer wg.Done()
-		for {
-			mu.Lock()
-			if err != nil || next >= len(combos) {
-				mu.Unlock()
-				return
-			}
-			idx := next
-			next++
-			mu.Unlock()
-
+	sem := make(chan struct{}, opts.Parallelism)
+	for idx := range combos {
+		mu.Lock()
+		bail := err != nil
+		mu.Unlock()
+		if bail {
+			break
+		}
+		idx := idx
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
 			res, runErr := runCombo(apps, combos[idx], opts)
 			mu.Lock()
-			if runErr != nil && err == nil {
-				err = runErr
+			defer mu.Unlock()
+			if runErr != nil {
+				if err == nil {
+					err = runErr
+				}
+				return
 			}
 			g.Results[idx] = res
 			done++
 			if opts.Progress != nil {
 				opts.Progress(done, len(combos), combos[idx])
 			}
-			mu.Unlock()
-		}
-	}
-	wg.Add(opts.Parallelism)
-	for i := 0; i < opts.Parallelism; i++ {
-		go worker()
+		}()
 	}
 	wg.Wait()
 	if err != nil {
@@ -166,17 +180,27 @@ func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 }
 
 func runCombo(apps []kernel.Params, tlps []int, opts GridOptions) (sim.Result, error) {
-	s, err := sim.New(sim.Options{
+	name := fmt.Sprintf("static%v", tlps)
+	spec := simcache.RunSpec{
 		Config:       opts.Config,
 		Apps:         apps,
-		Manager:      tlp.NewStatic(fmt.Sprintf("static%v", tlps), tlps, nil),
+		ManagerID:    name,
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
-	})
-	if err != nil {
-		return sim.Result{}, err
 	}
-	return s.Run(), nil
+	return simcache.RunCached(opts.Cache, opts.Runner, runner.PriGrid, spec, func() (sim.Result, error) {
+		s, err := sim.New(sim.Options{
+			Config:       opts.Config,
+			Apps:         apps,
+			Manager:      tlp.NewStatic(name, tlps, nil),
+			TotalCycles:  opts.TotalCycles,
+			WarmupCycles: opts.WarmupCycles,
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return s.Run(), nil
+	})
 }
 
 // Eval is how a grid cell scores under some figure of merit. The closures

@@ -1,0 +1,137 @@
+package search
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/runner"
+	"ebm/internal/simcache"
+)
+
+func cacheGridOpts(t *testing.T) (GridOptions, *simcache.Cache) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	c, err := simcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(4)
+	t.Cleanup(pool.Close)
+	return GridOptions{
+		Config:       cfg,
+		Levels:       []int{1, 8, 24},
+		TotalCycles:  8_000,
+		WarmupCycles: 2_000,
+		Parallelism:  4,
+		Runner:       pool,
+		Cache:        c,
+	}, c
+}
+
+func cacheGridApps(t *testing.T) []kernel.Params {
+	t.Helper()
+	a, _ := kernel.ByName("BLK")
+	b, _ := kernel.ByName("BFS")
+	return []kernel.Params{a, b}
+}
+
+// TestBuildGridWarmRebuildBitIdentical: a second build over a populated
+// cache must be all hits and reproduce the grid exactly.
+func TestBuildGridWarmRebuildBitIdentical(t *testing.T) {
+	opts, c := cacheGridOpts(t)
+	apps := cacheGridApps(t)
+	cold, err := BuildGrid(apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(cold.Results)
+	if got := c.Stats().Writes; got != uint64(cells) {
+		t.Fatalf("persisted %d cells, want %d", got, cells)
+	}
+	before := c.Stats()
+	warm, err := BuildGrid(apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.Writes != before.Writes {
+		t.Fatal("warm rebuild re-simulated")
+	}
+	if after.Hits-before.Hits != uint64(cells) {
+		t.Fatalf("warm rebuild hits %d, want %d", after.Hits-before.Hits, cells)
+	}
+	// Bit-identity: reflect.DeepEqual on float64 fields is exact bit
+	// comparison for non-NaN values, and the engine produces no NaNs.
+	if !reflect.DeepEqual(cold.Results, warm.Results) {
+		t.Fatal("warm grid differs from cold grid")
+	}
+}
+
+// TestBuildGridResumesPartialGrid: deleting a subset of persisted entries
+// simulates an interrupted sweep; the rebuild recomputes exactly the
+// deleted cells and nothing else.
+func TestBuildGridResumesPartialGrid(t *testing.T) {
+	opts, c := cacheGridOpts(t)
+	apps := cacheGridApps(t)
+	cold, err := BuildGrid(apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := len(cold.Results)
+
+	ents, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted := 0
+	for i, e := range ents {
+		if i%3 == 0 {
+			if err := os.Remove(c.Dir() + "/" + e.Name()); err != nil {
+				t.Fatal(err)
+			}
+			deleted++
+		}
+	}
+	if deleted == 0 || deleted == cells {
+		t.Fatalf("bad partition: deleted %d of %d", deleted, cells)
+	}
+
+	before := c.Stats()
+	resumed, err := BuildGrid(apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if got := after.Writes - before.Writes; got != uint64(deleted) {
+		t.Fatalf("resume recomputed %d cells, want exactly the %d deleted", got, deleted)
+	}
+	if got := after.Hits - before.Hits; got != uint64(cells-deleted) {
+		t.Fatalf("resume hit %d cells, want %d", got, cells-deleted)
+	}
+	if !reflect.DeepEqual(cold.Results, resumed.Results) {
+		t.Fatal("resumed grid differs from the original")
+	}
+}
+
+// TestBuildGridNilCacheStillWorks guards the uncached path.
+func TestBuildGridNilCacheStillWorks(t *testing.T) {
+	opts, _ := cacheGridOpts(t)
+	opts.Cache = nil
+	g, err := BuildGrid(cacheGridApps(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Results) != len(opts.Levels)*len(opts.Levels) {
+		t.Fatalf("grid size %d", len(g.Results))
+	}
+	for i, r := range g.Results {
+		if r.Cycles == 0 {
+			t.Fatalf("cell %d empty", i)
+		}
+	}
+}

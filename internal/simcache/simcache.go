@@ -1,0 +1,314 @@
+// Package simcache is a versioned, content-addressed on-disk cache for
+// simulation results. A run is identified by a fingerprint of everything
+// that determines its outcome — the machine configuration, the
+// applications, the TLP policy identity, and the run lengths — so grid
+// cells, evaluation runs, and alone profiles persist across processes:
+// an interrupted sweep resumes where it stopped and a warm paperfigs run
+// replays from disk instead of re-simulating.
+//
+// The cycle engine is deterministic (pinned by the golden bit-identity
+// tests in internal/sim), and sim.Result round-trips JSON exactly (Go
+// encodes float64 with the shortest form that parses back to the same
+// bits), so a cached result is bit-identical to a fresh computation —
+// test-enforced here and in internal/search.
+//
+// Invalidation is by key, never by mutation: the key embeds
+// SchemaVersion, which MUST be bumped whenever engine behaviour changes
+// (the same commits that regenerate internal/sim's golden files), and
+// every behavioural knob of the run. Writes go through a temp file and
+// an atomic rename; reads tolerate corruption (a truncated, garbled, or
+// foreign-schema entry is a miss, never an error), so a killed process
+// cannot poison the cache.
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/obs"
+	"ebm/internal/runner"
+	"ebm/internal/sim"
+)
+
+// SchemaVersion invalidates every existing cache entry when bumped. Bump
+// it whenever the cycle engine's behaviour changes — i.e. in the same
+// change that regenerates the golden bit-identity files — or when the
+// entry layout itself changes.
+const SchemaVersion = 1
+
+// HashJSON fingerprints any plain data value as FNV-1a over its JSON
+// encoding, rendered as 16 hex digits. It is the shared helper behind
+// profile fingerprints and run keys; values must marshal cleanly (plain
+// config/parameter structs always do).
+func HashJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // plain data structs always marshal
+	}
+	var h uint64 = 1469598103934665603
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// RunSpec captures everything that determines a simulation's outcome.
+// ManagerID must fully identify the TLP policy's construction (the
+// built-in managers' Name() does); the corresponding run must be
+// observer- and hook-free, since side effects cannot be replayed from a
+// cache. Values are recorded as requested, not as defaulted — callers
+// that rely on engine defaults key consistently among themselves.
+type RunSpec struct {
+	Schema             int             `json:"schema"`
+	Config             config.GPU      `json:"config"`
+	Apps               []kernel.Params `json:"apps"`
+	CoresPerApp        []int           `json:"cores_per_app,omitempty"`
+	ManagerID          string          `json:"manager"`
+	TotalCycles        uint64          `json:"total_cycles"`
+	WarmupCycles       uint64          `json:"warmup_cycles"`
+	WindowCycles       uint64          `json:"window_cycles,omitempty"`
+	DesignatedSampling bool            `json:"designated,omitempty"`
+	DecisionDelay      uint64          `json:"decision_delay,omitempty"`
+	VictimTags         int             `json:"victim_tags,omitempty"`
+	L2WayPartition     [][]bool        `json:"l2_ways,omitempty"`
+}
+
+// Spec derives a RunSpec from sim options. The options must be
+// replayable: no OnWindow hook and no attached observer (their side
+// effects do not happen on a cache hit) — Spec panics on either, since
+// caching such a run is a logic error at the call site.
+func Spec(o sim.Options) RunSpec {
+	if o.OnWindow != nil || o.Obs != nil {
+		panic("simcache: refusing to fingerprint a run with observers attached")
+	}
+	id := "++maxTLP" // sim's default manager
+	if o.Manager != nil {
+		id = o.Manager.Name()
+	}
+	return RunSpec{
+		Config:             o.Config,
+		Apps:               o.Apps,
+		CoresPerApp:        o.CoresPerApp,
+		ManagerID:          id,
+		TotalCycles:        o.TotalCycles,
+		WarmupCycles:       o.WarmupCycles,
+		WindowCycles:       o.WindowCycles,
+		DesignatedSampling: o.DesignatedSampling,
+		DecisionDelay:      o.DecisionDelay,
+		VictimTags:         o.VictimTags,
+		L2WayPartition:     o.L2WayPartition,
+	}
+}
+
+// Key returns the spec's content address under the current schema.
+func (s RunSpec) Key() string {
+	s.Schema = SchemaVersion
+	return HashJSON(s)
+}
+
+// entry is the on-disk layout: the schema and key are stored alongside
+// the result so a renamed, truncated, or stale file can never be
+// mistaken for a hit.
+type entry struct {
+	Schema int        `json:"schema"`
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// Stats is a point-in-time snapshot of one cache handle's traffic.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writes     uint64
+	Corrupt    uint64 // misses caused by unreadable/foreign entries
+	WriteFails uint64 // persist attempts that failed (results still served)
+}
+
+// Cache is a directory of result entries, one file per key. All methods
+// are safe for concurrent use and nil-safe: a nil *Cache misses every
+// Get and drops every Put, so call sites need no "is caching on?"
+// branches.
+type Cache struct {
+	dir string
+
+	hits, misses, writes, corrupt, writeFails atomic.Uint64
+
+	// Optional observability handles (nil-safe), set via Instrument.
+	hitC, missC, writeC *obs.Counter
+}
+
+// Open returns a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Path returns the entry file for a key.
+func (c *Cache) Path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached result for key, if a valid entry exists.
+func (c *Cache) Get(key string) (sim.Result, bool) { return c.get(key, true) }
+
+// get is Get with the miss counting optional: RunCached's inner re-check
+// would otherwise record a second miss for every simulation it runs.
+func (c *Cache) get(key string, countMiss bool) (sim.Result, bool) {
+	if c == nil {
+		return sim.Result{}, false
+	}
+	b, err := os.ReadFile(c.Path(key))
+	if err != nil {
+		if countMiss {
+			c.misses.Add(1)
+			c.missC.Inc()
+		}
+		return sim.Result{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Schema != SchemaVersion || e.Key != key {
+		c.corrupt.Add(1)
+		if countMiss {
+			c.misses.Add(1)
+			c.missC.Inc()
+		}
+		return sim.Result{}, false
+	}
+	c.hits.Add(1)
+	c.hitC.Inc()
+	return e.Result, true
+}
+
+// Put persists a result under key: marshalled to a temp file in the
+// cache directory, then atomically renamed into place, so concurrent
+// writers and killed processes leave either the old entry or the new
+// one, never a torn file.
+func (c *Cache) Put(key string, r sim.Result) error {
+	if c == nil {
+		return nil
+	}
+	b, err := json.Marshal(entry{Schema: SchemaVersion, Key: key, Result: r})
+	if err != nil {
+		return fmt.Errorf("simcache: marshal %s: %w", key, err)
+	}
+	f, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("simcache: write %s: %w", key, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("simcache: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, c.Path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("simcache: rename %s: %w", key, err)
+	}
+	c.writes.Add(1)
+	c.writeC.Inc()
+	return nil
+}
+
+// Len counts valid-looking entries on disk (files named <key>.json).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns this handle's hit/miss/write counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Writes:     c.writes.Load(),
+		Corrupt:    c.corrupt.Load(),
+		WriteFails: c.writeFails.Load(),
+	}
+}
+
+// Instrument mirrors the cache's traffic into an obs registry:
+// ebm_simcache_hits_total, ebm_simcache_misses_total, and
+// ebm_simcache_writes_total.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.hitC = reg.Counter("ebm_simcache_hits_total", "simulation results served from the on-disk cache")
+	c.missC = reg.Counter("ebm_simcache_misses_total", "cache lookups that fell through to simulation")
+	c.writeC = reg.Counter("ebm_simcache_writes_total", "simulation results persisted to the cache")
+	c.hitC.Set(c.hits.Load())
+	c.missC.Set(c.misses.Load())
+	c.writeC.Set(c.writes.Load())
+}
+
+// RunCached executes a simulation through the shared layers: serve from
+// the cache when possible, otherwise submit to the pool (the Default
+// pool when r is nil) with singleflight on the spec key — identical
+// concurrent requests share one execution — and persist the result.
+// Cache write failures are deliberately non-fatal (the result is still
+// perfectly good); they surface through Stats and the instrumented
+// counters instead.
+func RunCached(c *Cache, r *runner.Runner, pri int, spec RunSpec, run func() (sim.Result, error)) (sim.Result, error) {
+	key := spec.Key()
+	if res, ok := c.Get(key); ok {
+		return res, nil
+	}
+	if r == nil {
+		r = runner.Default()
+	}
+	v, err := r.Do("sim:"+key, pri, func() (any, error) {
+		// A concurrent process (or a deduplicated predecessor in this
+		// one) may have persisted the entry since the first lookup.
+		if res, ok := c.get(key, false); ok {
+			return res, nil
+		}
+		res, err := run()
+		if err != nil {
+			return nil, err
+		}
+		if perr := c.Put(key, res); perr != nil && c != nil {
+			c.writeFails.Add(1) // best effort; the result is still good
+		}
+		return res, nil
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return v.(sim.Result), nil
+}

@@ -1,0 +1,360 @@
+package simcache
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/obs"
+	"ebm/internal/runner"
+	"ebm/internal/sim"
+	"ebm/internal/tlp"
+)
+
+func testSpec() RunSpec {
+	app, _ := kernel.ByName("BLK")
+	return RunSpec{
+		Config:       config.Default(),
+		Apps:         []kernel.Params{app},
+		ManagerID:    "static[4]",
+		TotalCycles:  60_000,
+		WarmupCycles: 10_000,
+	}
+}
+
+// awkwardResult exercises float values whose decimal rendering must
+// round-trip to the exact same bits.
+func awkwardResult() sim.Result {
+	return sim.Result{
+		Cycles:  1 << 62, // above 2^53: must not pass through float64
+		TotalBW: 0.1 + 0.2,
+		Windows: 123,
+		Apps: []sim.AppResult{
+			{
+				Name: "BLK", Insts: 987654321987654321, IPC: 1.0 / 3.0,
+				L1MR: math.Nextafter(0.5, 1), L2MR: 1e-17, CMR: 0.30000000000000004,
+				BW: 2.0 / 7.0, EB: math.SmallestNonzeroFloat64,
+				RowHitRate: 0.9999999999999999, AvgLatency: 12345.6789,
+				MemStallFrac: 0.1, IssueUtil: 0.25, AvgTLP: 23.999999999999996,
+				FinalTLP: 24, Kernels: 42,
+			},
+		},
+	}
+}
+
+func TestKeyStabilityAndInvalidation(t *testing.T) {
+	base := testSpec()
+	k := base.Key()
+	if k != testSpec().Key() {
+		t.Fatal("key not stable for identical specs")
+	}
+	if len(k) != 16 {
+		t.Fatalf("key %q not 16 hex digits", k)
+	}
+
+	mutations := map[string]func(*RunSpec){
+		"config":        func(s *RunSpec) { s.Config.L2MSHRs = 999 },
+		"total cycles":  func(s *RunSpec) { s.TotalCycles++ },
+		"warmup cycles": func(s *RunSpec) { s.WarmupCycles++ },
+		"manager":       func(s *RunSpec) { s.ManagerID = "static[8]" },
+		"apps":          func(s *RunSpec) { s.Apps[0].Rm += 0.01 },
+		"window":        func(s *RunSpec) { s.WindowCycles = 777 },
+		"sampling":      func(s *RunSpec) { s.DesignatedSampling = true },
+		"cores":         func(s *RunSpec) { s.CoresPerApp = []int{30} },
+		"victim tags":   func(s *RunSpec) { s.VictimTags = 1024 },
+		"l2 ways":       func(s *RunSpec) { s.L2WayPartition = [][]bool{{true}} },
+	}
+	for name, mutate := range mutations {
+		s := testSpec()
+		mutate(&s)
+		if s.Key() == k {
+			t.Errorf("key insensitive to %s change", name)
+		}
+	}
+
+	// A schema bump must change every key even for identical specs.
+	bumped := testSpec()
+	bumped.Schema = SchemaVersion + 1
+	if HashJSON(bumped) == k {
+		t.Fatal("key insensitive to schema version")
+	}
+}
+
+func TestSpecFromOptions(t *testing.T) {
+	app, _ := kernel.ByName("TRD")
+	o := sim.Options{
+		Config:             config.Default(),
+		Apps:               []kernel.Params{app},
+		Manager:            tlp.NewStatic("static[8]", []int{8}, nil),
+		TotalCycles:        50_000,
+		WarmupCycles:       5_000,
+		WindowCycles:       2_500,
+		DesignatedSampling: true,
+		VictimTags:         64,
+	}
+	s := Spec(o)
+	if s.ManagerID != "static[8]" || s.TotalCycles != 50_000 || s.VictimTags != 64 {
+		t.Fatalf("spec %+v lost options", s)
+	}
+	if Spec(sim.Options{Apps: o.Apps}).ManagerID != "++maxTLP" {
+		t.Fatal("nil manager not keyed as the engine default")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spec accepted a hooked run")
+		}
+	}()
+	o.OnWindow = func(tlp.Sample) {}
+	Spec(o)
+}
+
+func TestPutGetBitIdentical(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := awkwardResult()
+	if err := c.Put("k1", orig); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip changed the result:\n%+v\n%+v", orig, got)
+	}
+	// Belt and braces: the floats must agree at the bit level, not just
+	// under ==.
+	pairs := [][2]float64{
+		{orig.TotalBW, got.TotalBW},
+		{orig.Apps[0].IPC, got.Apps[0].IPC},
+		{orig.Apps[0].L1MR, got.Apps[0].L1MR},
+		{orig.Apps[0].EB, got.Apps[0].EB},
+		{orig.Apps[0].AvgTLP, got.Apps[0].AvgTLP},
+	}
+	for i, p := range pairs {
+		if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+			t.Errorf("pair %d: %x != %x", i, math.Float64bits(p[0]), math.Float64bits(p[1]))
+		}
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Writes != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", awkwardResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated":      []byte(`{"schema":1,"key":"k","result":{"Cyc`),
+		"garbage":        []byte("\x00\x01\x02 not json"),
+		"empty":          {},
+		"wrong key":      mustJSON(entry{Schema: SchemaVersion, Key: "other", Result: awkwardResult()}),
+		"foreign schema": mustJSON(entry{Schema: SchemaVersion + 1, Key: "k", Result: awkwardResult()}),
+	}
+	for name, data := range cases {
+		if err := os.WriteFile(c.Path("k"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get("k"); ok {
+			t.Errorf("%s entry served as a hit", name)
+		}
+	}
+	if s := c.Stats(); s.Corrupt != uint64(len(cases)) {
+		t.Fatalf("corrupt count %d, want %d", s.Corrupt, len(cases))
+	}
+
+	// RunCached falls back to recompute and heals the entry.
+	ran := 0
+	res, err := RunCached(c, nil, runner.PriGrid, testSpec(), func() (sim.Result, error) {
+		ran++
+		return awkwardResult(), nil
+	})
+	if err != nil || ran != 1 {
+		t.Fatalf("recompute: err %v, ran %d", err, ran)
+	}
+	if got, ok := c.Get(testSpec().Key()); !ok || !reflect.DeepEqual(got, res) {
+		t.Fatal("healed entry missing or different")
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestRunCachedHitSkipsPoolAndRun(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	want := awkwardResult()
+	if err := c.Put(spec.Key(), want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCached(c, nil, runner.PriEval, spec, func() (sim.Result, error) {
+		t.Fatal("run executed despite a valid cache entry")
+		return sim.Result{}, nil
+	})
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("hit path: %v %v", got, err)
+	}
+}
+
+func TestRunCachedDedupsConcurrentIdenticalRuns(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(4)
+	defer pool.Close()
+	spec := testSpec()
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := RunCached(c, pool, runner.PriGrid, spec, func() (sim.Result, error) {
+				execs.Add(1)
+				<-gate
+				return awkwardResult(), nil
+			})
+			if err != nil || len(res.Apps) != 1 {
+				t.Errorf("RunCached: %v %v", res, err)
+			}
+		}()
+	}
+	for pool.Stats().Deduped+pool.Stats().Ran < 5 {
+		// Wait until five submissions have either attached or queued
+		// behind the gated execution (cold Gets all miss first).
+		if execs.Load() > 1 {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("%d executions for identical specs, want 1", n)
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if err := c.Put("k", sim.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.Dir() != "" || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache accessors")
+	}
+	c.Instrument(obs.NewRegistry()) // must not panic
+	ran := 0
+	if _, err := RunCached(c, nil, runner.PriGrid, testSpec(), func() (sim.Result, error) {
+		ran++
+		return sim.Result{}, nil
+	}); err != nil || ran != 1 {
+		t.Fatalf("uncached run: %v ran=%d", err, ran)
+	}
+}
+
+func TestInstrumentCounters(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	c.Get("absent")
+	c.Put("k", sim.Result{})
+	c.Get("k")
+	if v := reg.Counter("ebm_simcache_hits_total", "").Value(); v != 1 {
+		t.Fatalf("hits %d", v)
+	}
+	if v := reg.Counter("ebm_simcache_misses_total", "").Value(); v != 1 {
+		t.Fatalf("misses %d", v)
+	}
+	if v := reg.Counter("ebm_simcache_writes_total", "").Value(); v != 1 {
+		t.Fatalf("writes %d", v)
+	}
+}
+
+func TestLenCountsEntries(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", sim.Result{})
+	c.Put("b", sim.Result{})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+// TestRealRunBitIdentityThroughCache is the end-to-end determinism
+// guarantee: an actual simulation's cached bytes decode to exactly the
+// result a fresh computation returns.
+func TestRealRunBitIdentityThroughCache(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	app, _ := kernel.ByName("BFS")
+	run := func() (sim.Result, error) {
+		s, err := sim.New(sim.Options{
+			Config:      cfg,
+			Apps:        []kernel.Params{app},
+			Manager:     tlp.NewStatic("static[4]", []int{4}, nil),
+			TotalCycles: 10_000, WarmupCycles: 2_000,
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return s.Run(), nil
+	}
+	fresh1, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RunSpec{Config: cfg, Apps: []kernel.Params{app},
+		ManagerID: "static[4]", TotalCycles: 10_000, WarmupCycles: 2_000}
+	pool := runner.New(2)
+	defer pool.Close()
+	cached, err := RunCached(c, pool, runner.PriGrid, spec, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunCached(c, pool, runner.PriGrid, spec, func() (sim.Result, error) {
+		t.Fatal("warm lookup re-simulated")
+		return sim.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh1, cached) || !reflect.DeepEqual(cached, warm) {
+		t.Fatalf("cached result differs from fresh computation:\nfresh %+v\nwarm  %+v", fresh1, warm)
+	}
+}
