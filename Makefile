@@ -12,10 +12,15 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the tier-1 gate: everything must compile, vet clean, and pass.
+# verify is the tier-1 gate: everything must compile, be gofmt-clean,
+# vet clean (plus staticcheck where installed), and pass.
 verify:
 	$(GO) build ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
 	$(GO) test ./...
 
 # race runs the short test suite under the race detector (the grid builder

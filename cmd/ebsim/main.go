@@ -4,12 +4,16 @@
 // Usage:
 //
 //	ebsim -workload BLK_TRD -scheme pbs-ws
-//	ebsim -workload BFS_FFT -scheme static -tlp 2,6
+//	ebsim -workload BFS_FFT -scheme static:2,6
+//	ebsim -workload BLK_BFS -scheme ccws:hivta=0.2,hyst=3
 //	ebsim -workload JPEG_CFD_TRD -scheme dyncta -cycles 500000
 //	ebsim -alone BFS            # single-application TLP sweep (Fig. 2 style)
 //
-// Schemes: besttlp, maxtlp, dyncta, modbypass, pbs-ws, pbs-fi, pbs-hs,
-// static (with -tlp).
+// -scheme takes the canonical scheme grammar of internal/spec (see the
+// README's scheme table): a kind — static, besttlp, maxtlp, dyncta,
+// modbypass, ccws, pbs-ws, pbs-fi, pbs-hs — optionally followed by
+// ":args" carrying TLP levels or key=value knobs. The legacy -tlp flag
+// is sugar for the static/besttlp level list.
 //
 // Observability: -listen serves live Prometheus metrics on /metrics,
 // -trace writes the per-window CSV time series, -chrometrace writes a
@@ -32,7 +36,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 
 	"ebm/internal/config"
@@ -43,7 +46,7 @@ import (
 	"ebm/internal/profile"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
-	"ebm/internal/tlp"
+	"ebm/internal/spec"
 	"ebm/internal/workload"
 )
 
@@ -51,8 +54,8 @@ func main() {
 	var (
 		wlName  = flag.String("workload", "", "workload name, e.g. BLK_TRD (suite apps joined by _)")
 		alone   = flag.String("alone", "", "profile a single application across all TLP levels")
-		scheme  = flag.String("scheme", "pbs-ws", "besttlp|maxtlp|dyncta|modbypass|ccws|pbs-ws|pbs-fi|pbs-hs|static")
-		tlps    = flag.String("tlp", "", "comma-separated TLP combination for -scheme static")
+		scheme  = flag.String("scheme", "pbs-ws", spec.FlagHelp())
+		tlps    = flag.String("tlp", "", "comma-separated TLP combination for -scheme static/besttlp (sugar for static:N,M)")
 		cycles  = flag.Uint64("cycles", 300_000, "total simulated core cycles")
 		warmup  = flag.Uint64("warmup", 10_000, "warmup cycles excluded from metrics")
 		window  = flag.Uint64("window", 2_500, "sampling window in cycles")
@@ -126,14 +129,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	mgr, err := makeManager(*scheme, *tlps, bestTLPs, len(wl.Apps))
+	// Legacy sugar: -tlp appends the level list to a bare scheme kind.
+	if *tlps != "" && !strings.Contains(*scheme, ":") {
+		*scheme += ":" + *tlps
+	}
+	sch, err := spec.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsim:", err)
+		os.Exit(2)
+	}
+	if sch.Kind == spec.KindBestTLP && len(sch.Static.TLPs) == 0 {
+		sch = spec.BestTLP(bestTLPs) // resolve from the alone profiles
+	}
+	mgr, err := sch.Manager(len(wl.Apps))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ebsim:", err)
 		os.Exit(2)
 	}
 
 	victimTags := 0
-	if *scheme == "ccws" {
+	if sch.Kind == spec.KindCCWS {
 		victimTags = 1024
 	}
 
@@ -164,10 +179,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ebsim: serving metrics on http://%s/metrics\n", srv.Addr)
 	}
 
-	runOpts := sim.Options{
+	rs := spec.RunSpec{
 		Config:             cfg,
 		Apps:               wl.Apps,
-		Manager:            mgr,
+		Scheme:             sch,
 		TotalCycles:        *cycles,
 		WarmupCycles:       *warmup,
 		WindowCycles:       *window,
@@ -180,18 +195,18 @@ func main() {
 		// invocation with identical flags replays bit-identically from
 		// disk. Observed runs must execute for their event streams, so
 		// they bypass the cache.
-		res, err = simcache.RunCached(rcache, nil, 0, simcache.Spec(runOpts), func() (sim.Result, error) {
-			s, err := sim.New(runOpts)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			return s.Run(), nil
-		})
+		res, err = simcache.RunCached(rcache, nil, 0, rs, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ebsim:", err)
 			os.Exit(1)
 		}
 	} else {
+		runOpts, err := sim.FromSpec(rs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebsim:", err)
+			os.Exit(1)
+		}
+		runOpts.Manager = mgr // the instance observer.PhaseFn is wired to
 		runOpts.Obs = observer
 		s, err := sim.New(runOpts)
 		if err != nil {
@@ -282,48 +297,6 @@ func startProfiles(cpuPath, memPath string) func() {
 			}
 			f.Close()
 		}
-	}
-}
-
-func makeManager(scheme, tlpsFlag string, bestTLPs []int, numApps int) (tlp.Manager, error) {
-	switch scheme {
-	case "besttlp":
-		// The combination is part of the name so that the cache key fully
-		// identifies the run even when re-profiling changes the best TLPs.
-		return tlp.NewStatic(fmt.Sprintf("++bestTLP%v", bestTLPs), bestTLPs, nil), nil
-	case "maxtlp":
-		return tlp.NewMaxTLP(numApps), nil
-	case "dyncta":
-		return tlp.NewDynCTA(), nil
-	case "modbypass":
-		return tlp.NewModBypass(), nil
-	case "ccws":
-		return tlp.NewCCWS(), nil
-	case "pbs-ws":
-		return pbscore.NewPBS(metrics.ObjWS), nil
-	case "pbs-fi":
-		return pbscore.NewPBS(metrics.ObjFI), nil
-	case "pbs-hs":
-		return pbscore.NewPBS(metrics.ObjHS), nil
-	case "static":
-		if tlpsFlag == "" {
-			return nil, fmt.Errorf("scheme static needs -tlp, e.g. -tlp 2,8")
-		}
-		parts := strings.Split(tlpsFlag, ",")
-		if len(parts) != numApps {
-			return nil, fmt.Errorf("-tlp has %d values for %d applications", len(parts), numApps)
-		}
-		tl := make([]int, len(parts))
-		for i, p := range parts {
-			v, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil {
-				return nil, fmt.Errorf("bad -tlp value %q: %v", p, err)
-			}
-			tl[i] = v
-		}
-		return tlp.NewStatic(fmt.Sprintf("static%v", tl), tl, nil), nil
-	default:
-		return nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
 }
 

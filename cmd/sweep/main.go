@@ -7,6 +7,7 @@
 //	sweep -workload BLK_TRD
 //	sweep -workload BFS_FFT -grids ws,ebws,fi
 //	sweep -workload BFS_FFT -cycles 200000
+//	sweep -workload BLK_TRD -schemes "dyncta pbs-ws ccws:hivta=0.2"
 //	sweep -workload BLK_TRD -o results/blk_trd.txt -listen :8080
 //
 // The grid's combinations run concurrently; -parallel bounds the worker
@@ -44,13 +45,17 @@ import (
 	"ebm/internal/search"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
+	"ebm/internal/spec"
 	"ebm/internal/workload"
 )
 
 func main() {
 	var (
-		wlName = flag.String("workload", "BLK_TRD", "two-application workload, e.g. BLK_TRD")
-		grids  = flag.String("grids", "ws,ebws", "surfaces to print: ws,fi,hs,ebws,ebfi,it,bw")
+		wlName  = flag.String("workload", "BLK_TRD", "two-application workload, e.g. BLK_TRD")
+		grids   = flag.String("grids", "ws,ebws", "surfaces to print: ws,fi,hs,ebws,ebfi,it,bw")
+		schemes = flag.String("schemes", "",
+			"also run these online schemes at grid length (whitespace-separated canonical "+
+				"scheme strings, e.g. 'dyncta pbs-ws ccws:hivta=0.2'; scheme grammar: "+spec.FlagHelp()+")")
 		cycles   = flag.Uint64("cycles", 120_000, "cycles per combination")
 		warmup   = flag.Uint64("warmup", 20_000, "warmup cycles")
 		cache    = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
@@ -281,4 +286,48 @@ func main() {
 	report("PBS-FI(Offline)", cf)
 	ch, _ := g.PBSOffline(search.EBEval(metrics.ObjHS, aloneEB), nil)
 	report("PBS-HS(Offline)", ch)
+
+	// -schemes: online comparison points next to the grid searches, run at
+	// the same per-combination length through the same cache and pool.
+	// Whitespace separates schemes because commas belong to the scheme
+	// grammar itself.
+	for _, ss := range strings.Fields(*schemes) {
+		sch, err := spec.ParseScheme(ss)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		if sch.Kind == spec.KindBestTLP && len(sch.Static.TLPs) == 0 {
+			sch = spec.BestTLP(bestTLPs) // resolve from the alone profiles
+		}
+		victimTags := 0
+		if sch.Kind == spec.KindCCWS {
+			victimTags = 1024 // the lost-locality detector needs victim tags
+		}
+		r, err := simcache.RunCached(rcache, pool, runner.PriEval, spec.RunSpec{
+			Config:             cfg,
+			Apps:               wl.Apps,
+			Scheme:             sch,
+			TotalCycles:        *cycles,
+			WarmupCycles:       *warmup,
+			WindowCycles:       2_500,
+			DesignatedSampling: true,
+			VictimTags:         victimTags,
+		}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		sd, err := metrics.Slowdowns(r.IPCs(), aloneIPC)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		final := make([]int, len(r.Apps))
+		for i, a := range r.Apps {
+			final[i] = a.FinalTLP
+		}
+		fmt.Fprintf(out, "%-16s final=%-9v WS=%.3f FI=%.3f HS=%.3f\n",
+			sch.String(), final, metrics.WS(sd), metrics.FI(sd), metrics.HS(sd))
+	}
 }

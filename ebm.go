@@ -10,6 +10,7 @@ import (
 	"ebm/internal/search"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
+	"ebm/internal/spec"
 	"ebm/internal/tlp"
 	"ebm/internal/trace"
 	"ebm/internal/workload"
@@ -81,44 +82,92 @@ type Sample = tlp.Sample
 // Decision is a Manager's requested TLP/bypass configuration.
 type Decision = tlp.Decision
 
-// NewStaticManager runs a fixed TLP combination (e.g. ++bestTLP).
+// SchemeSpec is the canonical serializable description of a TLP
+// management scheme: a kind plus typed knobs. Every manager this package
+// can build is expressible as a SchemeSpec, and a SchemeSpec round-trips
+// through JSON and the flag-string grammar (ParseScheme / String).
+type SchemeSpec = spec.SchemeSpec
+
+// RunSpec is the full serializable description of one simulation —
+// machine, applications, scheme, run lengths — the service-facing
+// request type behind ExecuteSpec and the result cache.
+type RunSpec = spec.RunSpec
+
+// ParseScheme parses the canonical scheme grammar, e.g. "static:2,8",
+// "pbs-fi:scaling=group", "ccws:hivta=0.2,hyst=3".
+func ParseScheme(s string) (SchemeSpec, error) { return spec.ParseScheme(s) }
+
+// SchemeKinds lists every registered scheme kind in presentation order.
+func SchemeKinds() []string { return spec.Kinds() }
+
+// SchemeFlagHelp is the one-line usage string for scheme flags.
+func SchemeFlagHelp() string { return spec.FlagHelp() }
+
+// NewManager builds the described scheme's manager for numApps
+// co-scheduled applications through the registry.
+func NewManager(s SchemeSpec, numApps int) (Manager, error) {
+	return s.Manager(numApps)
+}
+
+// ExecuteSpec runs a declarative run description to completion.
+func ExecuteSpec(rs RunSpec) (Result, error) { return sim.Execute(rs) }
+
+// ExecuteSpecCached is ExecuteSpec through an optional result cache (nil
+// skips caching) and the shared executor: equivalent requests
+// deduplicate and replay bit-identically from disk.
+func ExecuteSpecCached(cache *SimCache, rs RunSpec) (Result, error) {
+	return simcache.RunCached(cache, nil, 0, rs, nil)
+}
+
+// NewStaticManager runs a fixed TLP combination (e.g. ++bestTLP). The
+// name is display-only; equivalently labeled runs share cache entries.
 func NewStaticManager(name string, tlps []int) Manager {
-	return tlp.NewStatic(name, tlps, nil)
+	return spec.MustManager(spec.Labeled(name, tlps, nil), len(tlps))
 }
 
 // NewMaxTLPManager runs every application at maxTLP.
-func NewMaxTLPManager(numApps int) Manager { return tlp.NewMaxTLP(numApps) }
+func NewMaxTLPManager(numApps int) Manager {
+	return spec.MustManager(spec.MaxTLP(), numApps)
+}
 
 // NewDynCTA returns the DynCTA-style per-application modulation baseline.
-func NewDynCTA() Manager { return tlp.NewDynCTA() }
+func NewDynCTA() Manager { return spec.MustManager(spec.DynCTA(), 0) }
 
 // NewModBypass returns the Mod+Bypass baseline (TLP modulation plus L1
 // bypassing for cache-insensitive applications).
-func NewModBypass() Manager { return tlp.NewModBypass() }
+func NewModBypass() Manager { return spec.MustManager(spec.ModBypass(), 0) }
 
 // NewCCWS returns the cache-conscious wavefront-scheduling-inspired
 // baseline; enable the detector with RunOptions.VictimTags (e.g. 32).
-func NewCCWS() Manager { return tlp.NewCCWS() }
+func NewCCWS() Manager { return spec.MustManager(spec.CCWS(), 0) }
 
 // PBS is the paper's online pattern-based searching manager.
 type PBS = pbscore.PBS
 
-// NewPBSWS returns PBS-WS: pattern-based search maximizing EB-WS.
-func NewPBSWS() *PBS { return pbscore.NewPBS(metrics.ObjWS) }
-
-// NewPBSFI returns PBS-FI with online-sampled alone-EB scaling.
-func NewPBSFI() *PBS { return pbscore.NewPBS(metrics.ObjFI) }
-
-// NewPBSFIGroup returns PBS-FI with user-supplied (group) scaling factors.
-func NewPBSFIGroup(groupEB []float64) *PBS {
-	p := pbscore.NewPBS(metrics.ObjFI)
-	p.Scaling = pbscore.GroupScale
-	p.GroupValues = append([]float64(nil), groupEB...)
+func mustPBS(s SchemeSpec, numApps int) *PBS {
+	p, err := spec.PBSManager(s, numApps)
+	if err != nil {
+		panic(err)
+	}
 	return p
 }
 
+// NewPBSWS returns PBS-WS: pattern-based search maximizing EB-WS.
+func NewPBSWS() *PBS { return mustPBS(spec.PBS(metrics.ObjWS), 0) }
+
+// NewPBSFI returns PBS-FI with online-sampled alone-EB scaling.
+func NewPBSFI() *PBS { return mustPBS(spec.PBS(metrics.ObjFI), 0) }
+
+// NewPBSFIGroup returns PBS-FI with user-supplied (group) scaling factors.
+func NewPBSFIGroup(groupEB []float64) *PBS {
+	s := spec.PBS(metrics.ObjFI)
+	s.PBS.Scaling = "group"
+	s.PBS.GroupEB = append([]float64(nil), groupEB...)
+	return mustPBS(s, len(groupEB))
+}
+
 // NewPBSHS returns PBS-HS (harmonic weighted speedup objective).
-func NewPBSHS() *PBS { return pbscore.NewPBS(metrics.ObjHS) }
+func NewPBSHS() *PBS { return mustPBS(spec.PBS(metrics.ObjHS), 0) }
 
 // Objective selects WS, FI, or HS for searches and metrics.
 type Objective = metrics.Objective

@@ -333,7 +333,7 @@ func (p *PBS) OnSample(s tlp.Sample) tlp.Decision {
 	for i := range s.Apps {
 		if s.Apps[i].KernelRelaunched && p.ph == phStable {
 			p.restarts++
-			if p.searches > 0 && p.critical >= 0 && p.sinceFull+1 < maxInt(1, p.FullSearchEvery) {
+			if p.searches > 0 && p.critical >= 0 && p.sinceFull+1 < max(1, p.FullSearchEvery) {
 				p.sinceFull++
 				p.startQuickTune()
 			} else {
@@ -352,7 +352,7 @@ func (p *PBS) OnSample(s tlp.Sample) tlp.Decision {
 	// Accumulate this window into the current observation; act only once
 	// MeasureWindows windows have been averaged.
 	p.accumulate(s)
-	if p.accN < maxInt(1, p.MeasureWindows) {
+	if p.accN < max(1, p.MeasureWindows) {
 		return p.cur.Clone()
 	}
 	m, ebs, d, sum := p.takeMeasurement()
@@ -426,7 +426,7 @@ func (p *PBS) OnSample(s tlp.Sample) tlp.Decision {
 			}
 			if m < p.DriftThreshold*p.stableM {
 				p.driftCount++
-				if p.driftCount >= maxInt(1, p.DriftWindows) {
+				if p.driftCount >= max(1, p.DriftWindows) {
 					p.drifts++
 					p.startSweeps()
 				}
@@ -440,13 +440,6 @@ func (p *PBS) OnSample(s tlp.Sample) tlp.Decision {
 		}
 	}
 	return p.cur.Clone()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // resetAcc clears the measurement accumulator.

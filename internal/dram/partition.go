@@ -410,29 +410,29 @@ func (p *Partition) scheduleDRAM(now uint64) {
 	var colAt uint64
 	switch {
 	case rowHit:
-		colAt = maxU64(now, b.colReady, p.lastColAt+uint64(t.TCCD))
+		colAt = max(now, b.colReady, p.lastColAt+uint64(t.TCCD))
 		p.Apps[app].RowHits.Inc()
 	case b.openRow < 0:
-		actAt := maxU64(now, b.preDone, p.lastActAt+uint64(t.TRRD))
+		actAt := max(now, b.preDone, p.lastActAt+uint64(t.TRRD))
 		b.actAt = actAt
 		b.openRow = row
 		b.colReady = actAt + uint64(t.TRCD)
 		p.lastActAt = actAt
-		colAt = maxU64(b.colReady, p.lastColAt+uint64(t.TCCD))
+		colAt = max(b.colReady, p.lastColAt+uint64(t.TCCD))
 		p.Apps[app].RowMisses.Inc()
 	default: // row conflict: precharge, then activate
-		preAt := maxU64(now, b.actAt+uint64(t.TRAS), b.lastColAt+uint64(t.TWR))
-		actAt := maxU64(preAt+uint64(t.TRP), p.lastActAt+uint64(t.TRRD))
+		preAt := max(now, b.actAt+uint64(t.TRAS), b.lastColAt+uint64(t.TWR))
+		actAt := max(preAt+uint64(t.TRP), p.lastActAt+uint64(t.TRRD))
 		b.preDone = preAt + uint64(t.TRP)
 		b.actAt = actAt
 		b.openRow = row
 		b.colReady = actAt + uint64(t.TRCD)
 		p.lastActAt = actAt
-		colAt = maxU64(b.colReady, p.lastColAt+uint64(t.TCCD))
+		colAt = max(b.colReady, p.lastColAt+uint64(t.TCCD))
 		p.Apps[app].RowMisses.Inc()
 	}
 	// Serialize the data burst on the shared bus.
-	dataStart := maxU64(colAt+uint64(t.TCL), p.busFreeAt)
+	dataStart := max(colAt+uint64(t.TCL), p.busFreeAt)
 	if over := dataStart - (colAt + uint64(t.TCL)); over > 0 {
 		colAt += over // the column command waits for the bus slot
 	}
@@ -483,14 +483,4 @@ func (p *Partition) NewWindow() {
 func (p *Partition) String() string {
 	return fmt.Sprintf("partition %d: inq=%d dramQ=%d mshr=%d resp=%d",
 		p.ID, len(p.inq), len(p.dramQ), p.mshr.Len(), len(p.resp))
-}
-
-func maxU64(xs ...uint64) uint64 {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"io"
 
-	pbscore "ebm/internal/core"
 	"ebm/internal/metrics"
 	"ebm/internal/search"
 	"ebm/internal/sim"
+	"ebm/internal/spec"
 	"ebm/internal/workload"
 )
 
@@ -120,7 +120,13 @@ func ablWindow(e *Env, w io.Writer) error {
 	}
 	t := newTable("window (cycles)", "WS", "searches done")
 	for _, win := range []uint64{1000, 2500, 5000, 10000} {
-		mgr := pbscore.NewPBS(metrics.ObjWS)
+		// Search counters are read after the run, so this is one of the
+		// deliberately uncacheable direct-engine paths: the manager comes
+		// from the registry, the run does not go through the cache.
+		mgr, err := spec.PBSManager(spec.PBS(metrics.ObjWS), len(wl.Apps))
+		if err != nil {
+			return err
+		}
 		s, err := sim.New(sim.Options{
 			Config:             e.Opt.Config,
 			Apps:               wl.Apps,
@@ -203,15 +209,9 @@ func ablSampling(e *Env, w io.Writer) error {
 			return err
 		}
 		run := func(designated bool) (float64, error) {
-			r, err := e.RunSim(sim.Options{
-				Config:             e.Opt.Config,
-				Apps:               wl.Apps,
-				Manager:            pbscore.NewPBS(metrics.ObjWS),
-				TotalCycles:        e.Opt.EvalCycles,
-				WarmupCycles:       e.Opt.EvalWarmup,
-				WindowCycles:       e.Opt.WindowCycles,
-				DesignatedSampling: designated,
-			})
+			rs := e.EvalSpec(wl, spec.PBS(metrics.ObjWS))
+			rs.DesignatedSampling = designated
+			r, err := e.Run(rs)
 			if err != nil {
 				return 0, err
 			}

@@ -11,7 +11,6 @@ import (
 	"sync"
 
 	"ebm/internal/config"
-	pbscore "ebm/internal/core"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/profile"
@@ -19,7 +18,7 @@ import (
 	"ebm/internal/search"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
-	"ebm/internal/tlp"
+	"ebm/internal/spec"
 	"ebm/internal/workload"
 )
 
@@ -178,68 +177,39 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 	return v.(*search.Grid), nil
 }
 
-// RunStatic runs a workload at a fixed TLP combination for the evaluation
-// length.
-func (e *Env) RunStatic(w workload.Workload, tlps []int) (sim.Result, error) {
-	return e.run(w, tlp.NewStatic(fmt.Sprintf("static%v", tlps), tlps, nil), nil)
+// Run executes a declarative run description through the shared executor
+// (PriEval) and the on-disk result cache. Every cacheable simulation an
+// experiment performs funnels through here; runs that need observers or
+// per-window hooks (uncacheable by construction) assemble sim.Options
+// directly instead.
+func (e *Env) Run(rs spec.RunSpec) (sim.Result, error) {
+	return simcache.RunCached(e.cache, e.pool, runner.PriEval, rs, nil)
 }
 
-// RunManaged runs a workload under an online manager with the paper's
-// designated-sampling hardware.
-func (e *Env) RunManaged(w workload.Workload, m tlp.Manager) (sim.Result, error) {
-	return e.run(w, m, nil)
-}
-
-// RunTraced is RunManaged with a per-window observer.
-func (e *Env) RunTraced(w workload.Workload, m tlp.Manager, hook func(tlp.Sample)) (sim.Result, error) {
-	return e.run(w, m, hook)
-}
-
-// RunSim executes arbitrary replayable sim options (no hooks, no
-// observers; the manager must be fully identified by its Name) through
-// the shared executor and the on-disk result cache.
-func (e *Env) RunSim(o sim.Options) (sim.Result, error) {
-	return simcache.RunCached(e.cache, e.pool, runner.PriEval, simcache.Spec(o), func() (sim.Result, error) {
-		s, err := sim.New(o)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		return s.Run(), nil
-	})
-}
-
-func (e *Env) run(w workload.Workload, m tlp.Manager, hook func(tlp.Sample)) (sim.Result, error) {
-	o := sim.Options{
+// EvalSpec is the evaluation-length run description for a workload under
+// a scheme: the paper's comparison conditions (designated sampling, the
+// configured window) at full evaluation length.
+func (e *Env) EvalSpec(w workload.Workload, sch spec.SchemeSpec) spec.RunSpec {
+	return spec.RunSpec{
 		Config:             e.Opt.Config,
 		Apps:               w.Apps,
-		Manager:            m,
+		Scheme:             sch,
 		TotalCycles:        e.Opt.EvalCycles,
 		WarmupCycles:       e.Opt.EvalWarmup,
 		WindowCycles:       e.Opt.WindowCycles,
 		DesignatedSampling: true,
 	}
-	if hook == nil {
-		return e.RunSim(o)
-	}
-	// Traced runs fire a per-window callback: they go through the pool for
-	// scheduling but are never cached or deduplicated — the side effects
-	// must happen on every call.
-	o.OnWindow = hook
-	pool := e.pool
-	if pool == nil {
-		pool = runner.Default()
-	}
-	v, err := pool.Do("", runner.PriEval, func() (any, error) {
-		s, err := sim.New(o)
-		if err != nil {
-			return nil, err
-		}
-		return s.Run(), nil
-	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return v.(sim.Result), nil
+}
+
+// RunScheme evaluates a workload under a scheme at evaluation length.
+func (e *Env) RunScheme(w workload.Workload, sch spec.SchemeSpec) (sim.Result, error) {
+	return e.Run(e.EvalSpec(w, sch))
+}
+
+// RunStatic runs a workload at a fixed TLP combination for the evaluation
+// length.
+func (e *Env) RunStatic(w workload.Workload, tlps []int) (sim.Result, error) {
+	return e.RunScheme(w, spec.Static(tlps, nil))
 }
 
 // Alone returns (aloneIPC, aloneEB, bestTLPs) for a workload's apps.
@@ -290,6 +260,7 @@ const (
 	SchBestTLP   = "++bestTLP"
 	SchMaxTLP    = "++maxTLP"
 	SchDynCTA    = "++DynCTA"
+	SchCCWS      = "++CCWS"
 	SchModBypass = "Mod+Bypass"
 	SchPBSWS     = "PBS-WS"
 	SchPBSFI     = "PBS-FI"
@@ -304,6 +275,24 @@ const (
 	SchOptFI     = "optFI"
 	SchOptHS     = "optHS"
 )
+
+// FigureSchemes is the catalog of executable (non-offline) comparison
+// schemes the figures evaluate, as registry specs. bestTLPs is the
+// profiled per-app combination that resolves ++bestTLP; the remaining
+// entries are workload-independent. Offline points (opt*, BF-*, PBS-*
+// (Offline)) are grid searches, not managers, so they have no spec.
+func FigureSchemes(bestTLPs []int) map[string]spec.SchemeSpec {
+	return map[string]spec.SchemeSpec{
+		SchBestTLP:   spec.BestTLP(bestTLPs),
+		SchMaxTLP:    spec.MaxTLP(),
+		SchDynCTA:    spec.DynCTA(),
+		SchCCWS:      spec.CCWS(),
+		SchModBypass: spec.ModBypass(),
+		SchPBSWS:     spec.PBS(metrics.ObjWS),
+		SchPBSFI:     spec.PBS(metrics.ObjFI),
+		SchPBSHS:     spec.PBS(metrics.ObjHS),
+	}
+}
 
 // EvalWorkload measures every comparison scheme on one workload. Static
 // combinations discovered by the searches are re-run at evaluation length;
@@ -354,15 +343,16 @@ func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
 	// All evaluation-length runs are independent leaf simulations: fan
 	// them out on the shared pool — each distinct static combo once, plus
 	// every online scheme — and collect under one lock.
+	figSchemes := FigureSchemes(bestTLPs)
 	online := []struct {
 		name string
-		mk   func() tlp.Manager
+		sch  spec.SchemeSpec
 	}{
-		{SchDynCTA, func() tlp.Manager { return tlp.NewDynCTA() }},
-		{SchModBypass, func() tlp.Manager { return tlp.NewModBypass() }},
-		{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
-		{SchPBSFI, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjFI) }},
-		{SchPBSHS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjHS) }},
+		{SchDynCTA, figSchemes[SchDynCTA]},
+		{SchModBypass, figSchemes[SchModBypass]},
+		{SchPBSWS, figSchemes[SchPBSWS]},
+		{SchPBSFI, figSchemes[SchPBSFI]},
+		{SchPBSHS, figSchemes[SchPBSHS]},
 	}
 	type key string
 	comboKey := func(c []int) key { return key(fmt.Sprint(c)) }
@@ -400,7 +390,7 @@ func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := e.RunManaged(w, o.mk())
+			r, err := e.RunScheme(w, o.sch)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -5,10 +5,10 @@ import (
 	"io"
 	"sync"
 
-	pbscore "ebm/internal/core"
 	"ebm/internal/metrics"
 	"ebm/internal/search"
 	"ebm/internal/sim"
+	"ebm/internal/spec"
 	"ebm/internal/trace"
 	"ebm/internal/workload"
 )
@@ -166,11 +166,14 @@ func Fig12(e *Env, w io.Writer) error {
 func Fig11(e *Env, w io.Writer) error {
 	header(w, "Fig. 11: TLP over time for BLK_BFS under PBS-WS and PBS-FI")
 	wl := workload.MustMake("BLK", "BFS")
-	for _, objName := range []struct {
-		obj  metrics.Objective
+	for _, variant := range []struct {
+		sch  spec.SchemeSpec
 		name string
-	}{{metrics.ObjWS, "PBS-WS"}, {metrics.ObjFI, "PBS-FI"}} {
-		mgr := pbscore.NewPBS(objName.obj)
+	}{{spec.PBS(metrics.ObjWS), SchPBSWS}, {spec.PBS(metrics.ObjFI), SchPBSFI}} {
+		mgr, err := spec.PBSManager(variant.sch, len(wl.Apps))
+		if err != nil {
+			return err
+		}
 		rec := trace.NewRecorder(len(wl.Apps))
 		rec.SearchingFn = mgr.Searching
 		// Twice the evaluation horizon so kernel-relaunch restarts (and
@@ -189,7 +192,7 @@ func Fig11(e *Env, w io.Writer) error {
 			return err
 		}
 		s.Run()
-		fmt.Fprintf(w, "\n--- %s ---\n", objName.name)
+		fmt.Fprintf(w, "\n--- %s ---\n", variant.name)
 		for app := range wl.Apps {
 			fmt.Fprintf(w, "\nTLP-%s over time (bar height = TLP, max 24):\n%s",
 				wl.Apps[app].Name, trace.RenderASCII(rec.TLP[app], 24, 24))
@@ -209,11 +212,4 @@ func Fig11(e *Env, w io.Writer) error {
 	fmt.Fprintf(w, "\npaper shape: a preferred combination holds for most of the run, with\n"+
 		"re-sampling periods (shaded in the paper) around kernel relaunches.\n")
 	return nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"io"
 
-	pbscore "ebm/internal/core"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/profile"
 	"ebm/internal/sim"
-	"ebm/internal/tlp"
+	"ebm/internal/spec"
 	"ebm/internal/workload"
 )
 
@@ -44,22 +43,15 @@ func extraCCWS(e *Env, w io.Writer) error {
 		}
 		for _, sch := range []struct {
 			name string
-			mk   func() tlp.Manager
+			spec spec.SchemeSpec
 		}{
-			{SchDynCTA, func() tlp.Manager { return tlp.NewDynCTA() }},
-			{"++CCWS", func() tlp.Manager { return tlp.NewCCWS() }},
-			{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
+			{SchDynCTA, spec.DynCTA()},
+			{SchCCWS, spec.CCWS()},
+			{SchPBSWS, spec.PBS(metrics.ObjWS)},
 		} {
-			r, err := e.RunSim(sim.Options{
-				Config:             e.Opt.Config,
-				Apps:               wl.Apps,
-				Manager:            sch.mk(),
-				TotalCycles:        e.Opt.EvalCycles,
-				WarmupCycles:       e.Opt.EvalWarmup,
-				WindowCycles:       e.Opt.WindowCycles,
-				DesignatedSampling: true,
-				VictimTags:         1024,
-			})
+			rs := e.EvalSpec(wl, sch.spec)
+			rs.VictimTags = 1024
+			r, err := e.Run(rs)
 			if err != nil {
 				return err
 			}
@@ -103,9 +95,15 @@ func extraPhases(e *Env, w io.Writer) error {
 		{"PBS-WS (paper: relaunch-only restarts)", 0},
 		{"PBS-WS + drift detector", 0.6},
 	} {
-		mgr := pbscore.NewPBS(metrics.ObjWS)
-		mgr.DriftThreshold = variant.drift
-		mgr.DriftWindows = 4
+		// Drift counters are read post-run, so this path stays on the
+		// direct engine; the knobbed manager still comes from the registry.
+		sch := spec.PBS(metrics.ObjWS)
+		sch.PBS.DriftThreshold = variant.drift
+		sch.PBS.DriftWindows = 4
+		mgr, err := spec.PBSManager(sch, len(wl.Apps))
+		if err != nil {
+			return err
+		}
 		s, err := sim.New(sim.Options{
 			Config:             e.Opt.Config,
 			Apps:               wl.Apps,

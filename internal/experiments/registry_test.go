@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"ebm/internal/spec"
+)
+
+// TestFigureSchemesResolveThroughRegistry pins the acceptance criterion
+// that every scheme the paper figures evaluate is constructible through
+// internal/spec alone: each entry builds a manager via the registry and
+// survives both serialization round trips.
+func TestFigureSchemesResolveThroughRegistry(t *testing.T) {
+	bestTLPs := []int{2, 8}
+	schemes := FigureSchemes(bestTLPs)
+
+	wantNames := []string{SchBestTLP, SchMaxTLP, SchDynCTA, SchModBypass,
+		SchCCWS, SchPBSWS, SchPBSFI, SchPBSHS}
+	for _, name := range wantNames {
+		if _, ok := schemes[name]; !ok {
+			t.Errorf("FigureSchemes missing %q", name)
+		}
+	}
+
+	for name, sch := range schemes {
+		if err := sch.Validate(len(bestTLPs)); err != nil {
+			t.Errorf("%s: Validate: %v", name, err)
+			continue
+		}
+		mgr, err := sch.Manager(len(bestTLPs))
+		if err != nil {
+			t.Errorf("%s: Manager: %v", name, err)
+			continue
+		}
+		if mgr.Name() == "" {
+			t.Errorf("%s: empty manager name", name)
+		}
+		// Flag-string round trip rebuilds an identically named manager.
+		parsed, err := spec.ParseScheme(sch.String())
+		if err != nil {
+			t.Errorf("%s: ParseScheme(%q): %v", name, sch.String(), err)
+			continue
+		}
+		m2, err := parsed.Manager(len(bestTLPs))
+		if err != nil {
+			t.Errorf("%s: reparsed Manager: %v", name, err)
+			continue
+		}
+		if mgr.Name() != m2.Name() {
+			t.Errorf("%s: manager name changed across round trip: %q vs %q",
+				name, mgr.Name(), m2.Name())
+		}
+	}
+}

@@ -5,11 +5,9 @@ import (
 	"io"
 
 	"ebm/internal/config"
-	pbscore "ebm/internal/core"
 	"ebm/internal/metrics"
 	"ebm/internal/profile"
-	"ebm/internal/sim"
-	"ebm/internal/tlp"
+	"ebm/internal/spec"
 	"ebm/internal/workload"
 )
 
@@ -41,25 +39,14 @@ func SensCores(e *Env, w io.Writer) error {
 		var base float64
 		for _, sch := range []struct {
 			name string
-			mk   func() tlp.Manager
+			spec spec.SchemeSpec
 		}{
-			// The static manager's name embeds the combination so the
-			// result-cache key fully identifies the run.
-			{SchBestTLP, func() tlp.Manager {
-				return tlp.NewStatic(fmt.Sprintf("static%v", bestTLPs), bestTLPs, nil)
-			}},
-			{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
+			{SchBestTLP, spec.Static(bestTLPs, nil)},
+			{SchPBSWS, spec.PBS(metrics.ObjWS)},
 		} {
-			r, err := e.RunSim(sim.Options{
-				Config:             e.Opt.Config,
-				Apps:               wl.Apps,
-				CoresPerApp:        split,
-				Manager:            sch.mk(),
-				TotalCycles:        e.Opt.EvalCycles,
-				WarmupCycles:       e.Opt.EvalWarmup,
-				WindowCycles:       e.Opt.WindowCycles,
-				DesignatedSampling: true,
-			})
+			rs := e.EvalSpec(wl, sch.spec)
+			rs.CoresPerApp = split
+			r, err := e.Run(rs)
 			if err != nil {
 				return err
 			}
@@ -103,23 +90,14 @@ func SensL2(e *Env, w io.Writer) error {
 	}{{"shared", nil}, {"way-partitioned", half}} {
 		for _, sch := range []struct {
 			name string
-			mk   func() tlp.Manager
+			spec spec.SchemeSpec
 		}{
-			{SchBestTLP, func() tlp.Manager {
-				return tlp.NewStatic(fmt.Sprintf("static%v", bestTLPs), bestTLPs, nil)
-			}},
-			{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
+			{SchBestTLP, spec.Static(bestTLPs, nil)},
+			{SchPBSWS, spec.PBS(metrics.ObjWS)},
 		} {
-			r, err := e.RunSim(sim.Options{
-				Config:             e.Opt.Config,
-				Apps:               wl.Apps,
-				Manager:            sch.mk(),
-				TotalCycles:        e.Opt.EvalCycles,
-				WarmupCycles:       e.Opt.EvalWarmup,
-				WindowCycles:       e.Opt.WindowCycles,
-				DesignatedSampling: true,
-				L2WayPartition:     part.mask,
-			})
+			rs := e.EvalSpec(wl, sch.spec)
+			rs.L2WayPartition = part.mask
+			r, err := e.Run(rs)
 			if err != nil {
 				return err
 			}
@@ -180,25 +158,17 @@ func ThreeApp(e *Env, w io.Writer) error {
 		}
 		schemes := []struct {
 			name string
-			mk   func() tlp.Manager
+			spec spec.SchemeSpec
 		}{
-			{SchBestTLP, func() tlp.Manager {
-				return tlp.NewStatic(fmt.Sprintf("static%v", bestTLPs), bestTLPs, nil)
-			}},
-			{SchMaxTLP, func() tlp.Manager { return tlp.NewMaxTLP(len(wl.Apps)) }},
-			{SchDynCTA, func() tlp.Manager { return tlp.NewDynCTA() }},
-			{SchPBSWS, func() tlp.Manager { return pbscore.NewPBS(metrics.ObjWS) }},
+			{SchBestTLP, spec.Static(bestTLPs, nil)},
+			{SchMaxTLP, spec.MaxTLP()},
+			{SchDynCTA, spec.DynCTA()},
+			{SchPBSWS, spec.PBS(metrics.ObjWS)},
 		}
 		for _, sch := range schemes {
-			r, err := e.RunSim(sim.Options{
-				Config:             cfg,
-				Apps:               wl.Apps,
-				Manager:            sch.mk(),
-				TotalCycles:        e.Opt.EvalCycles,
-				WarmupCycles:       e.Opt.EvalWarmup,
-				WindowCycles:       e.Opt.WindowCycles,
-				DesignatedSampling: true,
-			})
+			rs := e.EvalSpec(wl, sch.spec)
+			rs.Config = cfg
+			r, err := e.Run(rs)
 			if err != nil {
 				return err
 			}

@@ -18,7 +18,7 @@ import (
 	"ebm/internal/runner"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
-	"ebm/internal/tlp"
+	"ebm/internal/spec"
 )
 
 // Options configures the profiler.
@@ -88,32 +88,21 @@ func (p *AppProfile) AtTLP(tlp int) (LevelResult, bool) {
 
 // AloneRun simulates one application alone at one TLP level, through the
 // shared executor (PriProfile — everything downstream waits on profiles)
-// and, when opts.Cache is set, the on-disk result cache.
+// and, when opts.Cache is set, the on-disk result cache. The "alone@N"
+// label is display-only: the cache key canonicalizes it away, so an
+// alone run and an identically shaped static run share one entry.
 func AloneRun(app kernel.Params, tlpLevel int, opts Options) (sim.Result, error) {
 	opts.fillDefaults()
 	cfg := opts.Config
 	cfg.NumCores = opts.CoresAlone
-	name := fmt.Sprintf("alone@%d", tlpLevel)
-	spec := simcache.RunSpec{
+	rs := spec.RunSpec{
 		Config:       cfg,
 		Apps:         []kernel.Params{app},
-		ManagerID:    name,
+		Scheme:       spec.Labeled(fmt.Sprintf("alone@%d", tlpLevel), []int{tlpLevel}, nil),
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
 	}
-	return simcache.RunCached(opts.Cache, opts.Runner, runner.PriProfile, spec, func() (sim.Result, error) {
-		s, err := sim.New(sim.Options{
-			Config:       cfg,
-			Apps:         []kernel.Params{app},
-			Manager:      tlp.NewStatic(name, []int{tlpLevel}, nil),
-			TotalCycles:  opts.TotalCycles,
-			WarmupCycles: opts.WarmupCycles,
-		})
-		if err != nil {
-			return sim.Result{}, err
-		}
-		return s.Run(), nil
-	})
+	return simcache.RunCached(opts.Cache, opts.Runner, runner.PriProfile, rs, nil)
 }
 
 // pickBest selects the level with the highest alone IPC.

@@ -70,8 +70,8 @@ func (h itemHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x any)        { *h = append(*h, x.(*item)) }
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(*item)) }
 func (h *itemHeap) Pop() any {
 	old := *h
 	n := len(old)

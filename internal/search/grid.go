@@ -21,7 +21,7 @@ import (
 	"ebm/internal/runner"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
-	"ebm/internal/tlp"
+	"ebm/internal/spec"
 )
 
 // GridOptions configures a grid build.
@@ -180,27 +180,14 @@ func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 }
 
 func runCombo(apps []kernel.Params, tlps []int, opts GridOptions) (sim.Result, error) {
-	name := fmt.Sprintf("static%v", tlps)
-	spec := simcache.RunSpec{
+	rs := spec.RunSpec{
 		Config:       opts.Config,
 		Apps:         apps,
-		ManagerID:    name,
+		Scheme:       spec.Static(tlps, nil),
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
 	}
-	return simcache.RunCached(opts.Cache, opts.Runner, runner.PriGrid, spec, func() (sim.Result, error) {
-		s, err := sim.New(sim.Options{
-			Config:       opts.Config,
-			Apps:         apps,
-			Manager:      tlp.NewStatic(name, tlps, nil),
-			TotalCycles:  opts.TotalCycles,
-			WarmupCycles: opts.WarmupCycles,
-		})
-		if err != nil {
-			return sim.Result{}, err
-		}
-		return s.Run(), nil
-	})
+	return simcache.RunCached(opts.Cache, opts.Runner, runner.PriGrid, rs, nil)
 }
 
 // Eval is how a grid cell scores under some figure of merit. The closures

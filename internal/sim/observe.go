@@ -31,7 +31,7 @@ type simObs struct {
 	poolGets, poolAllocs, poolRecycles *obs.Counter
 	poolFree, poolHit                  *obs.Gauge
 
-	partQ, partIn, partBus    []*obs.Gauge   // per partition
+	partQ, partIn, partBus      []*obs.Gauge   // per partition
 	coreIdle, coreStall, coreFF []*obs.Counter // per core
 
 	ebHist, latHist *obs.Histogram

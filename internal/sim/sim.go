@@ -18,6 +18,7 @@ import (
 	"ebm/internal/kernel"
 	"ebm/internal/mem"
 	"ebm/internal/obs"
+	"ebm/internal/spec"
 	"ebm/internal/tlp"
 )
 
@@ -97,7 +98,7 @@ func (o *Options) fillDefaults() error {
 		o.DecisionDelay = 32
 	}
 	if o.Manager == nil {
-		o.Manager = tlp.NewMaxTLP(len(o.Apps))
+		o.Manager = spec.MustManager(spec.MaxTLP(), len(o.Apps))
 	}
 	if err := o.Config.Validate(); err != nil {
 		return err

@@ -1,10 +1,14 @@
 // Package simcache is a versioned, content-addressed on-disk cache for
-// simulation results. A run is identified by a fingerprint of everything
-// that determines its outcome — the machine configuration, the
-// applications, the TLP policy identity, and the run lengths — so grid
+// simulation results. A run is identified by a fingerprint of its
+// canonical spec.RunSpec — the machine configuration, the applications,
+// the scheme with every knob explicit, and the run lengths — so grid
 // cells, evaluation runs, and alone profiles persist across processes:
 // an interrupted sweep resumes where it stopped and a warm paperfigs run
-// replays from disk instead of re-simulating.
+// replays from disk instead of re-simulating. Because the key is the
+// canonical spec JSON rather than a manager name string, any knobbed
+// manager the registry can build is cacheable, and equivalent requests
+// (++maxTLP vs the static combination it executes as, a labeled alone
+// run vs the same static run) deduplicate onto one entry.
 //
 // The cycle engine is deterministic (pinned by the golden bit-identity
 // tests in internal/sim), and sim.Result round-trips JSON exactly (Go
@@ -28,18 +32,20 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
-	"ebm/internal/config"
-	"ebm/internal/kernel"
 	"ebm/internal/obs"
 	"ebm/internal/runner"
 	"ebm/internal/sim"
+	"ebm/internal/spec"
 )
 
 // SchemaVersion invalidates every existing cache entry when bumped. Bump
 // it whenever the cycle engine's behaviour changes — i.e. in the same
 // change that regenerates the golden bit-identity files — or when the
-// entry layout itself changes.
-const SchemaVersion = 1
+// key derivation or entry layout changes.
+//
+// History: 1 keyed runs by manager name strings; 2 keys them by the
+// canonical spec.RunSpec JSON.
+const SchemaVersion = 2
 
 // HashJSON fingerprints any plain data value as FNV-1a over its JSON
 // encoding, rendered as 16 hex digits. It is the shared helper behind
@@ -58,58 +64,19 @@ func HashJSON(v any) string {
 	return fmt.Sprintf("%016x", h)
 }
 
-// RunSpec captures everything that determines a simulation's outcome.
-// ManagerID must fully identify the TLP policy's construction (the
-// built-in managers' Name() does); the corresponding run must be
-// observer- and hook-free, since side effects cannot be replayed from a
-// cache. Values are recorded as requested, not as defaulted — callers
-// that rely on engine defaults key consistently among themselves.
-type RunSpec struct {
-	Schema             int             `json:"schema"`
-	Config             config.GPU      `json:"config"`
-	Apps               []kernel.Params `json:"apps"`
-	CoresPerApp        []int           `json:"cores_per_app,omitempty"`
-	ManagerID          string          `json:"manager"`
-	TotalCycles        uint64          `json:"total_cycles"`
-	WarmupCycles       uint64          `json:"warmup_cycles"`
-	WindowCycles       uint64          `json:"window_cycles,omitempty"`
-	DesignatedSampling bool            `json:"designated,omitempty"`
-	DecisionDelay      uint64          `json:"decision_delay,omitempty"`
-	VictimTags         int             `json:"victim_tags,omitempty"`
-	L2WayPartition     [][]bool        `json:"l2_ways,omitempty"`
+// keyEnvelope is what Key actually hashes: the schema version alongside
+// the canonical run description.
+type keyEnvelope struct {
+	Schema int          `json:"schema"`
+	Run    spec.RunSpec `json:"run"`
 }
 
-// Spec derives a RunSpec from sim options. The options must be
-// replayable: no OnWindow hook and no attached observer (their side
-// effects do not happen on a cache hit) — Spec panics on either, since
-// caching such a run is a logic error at the call site.
-func Spec(o sim.Options) RunSpec {
-	if o.OnWindow != nil || o.Obs != nil {
-		panic("simcache: refusing to fingerprint a run with observers attached")
-	}
-	id := "++maxTLP" // sim's default manager
-	if o.Manager != nil {
-		id = o.Manager.Name()
-	}
-	return RunSpec{
-		Config:             o.Config,
-		Apps:               o.Apps,
-		CoresPerApp:        o.CoresPerApp,
-		ManagerID:          id,
-		TotalCycles:        o.TotalCycles,
-		WarmupCycles:       o.WarmupCycles,
-		WindowCycles:       o.WindowCycles,
-		DesignatedSampling: o.DesignatedSampling,
-		DecisionDelay:      o.DecisionDelay,
-		VictimTags:         o.VictimTags,
-		L2WayPartition:     o.L2WayPartition,
-	}
-}
-
-// Key returns the spec's content address under the current schema.
-func (s RunSpec) Key() string {
-	s.Schema = SchemaVersion
-	return HashJSON(s)
+// Key returns a run's content address under the current schema: FNV-1a
+// over the canonical spec JSON. Canonicalization (spec.RunSpec.Canonical)
+// is what makes equivalent requests — scheme aliases, display labels,
+// knobs stated at their defaults — share one entry.
+func Key(rs spec.RunSpec) string {
+	return HashJSON(keyEnvelope{Schema: SchemaVersion, Run: rs.Canonical()})
 }
 
 // entry is the on-disk layout: the schema and key are stored alongside
@@ -281,11 +248,16 @@ func (c *Cache) Instrument(reg *obs.Registry) {
 // the cache when possible, otherwise submit to the pool (the Default
 // pool when r is nil) with singleflight on the spec key — identical
 // concurrent requests share one execution — and persist the result.
-// Cache write failures are deliberately non-fatal (the result is still
-// perfectly good); they surface through Stats and the instrumented
-// counters instead.
-func RunCached(c *Cache, r *runner.Runner, pri int, spec RunSpec, run func() (sim.Result, error)) (sim.Result, error) {
-	key := spec.Key()
+// run overrides the execution (tests, custom assembly); nil executes
+// the spec itself (sim.Execute), which is the normal path. Cache write
+// failures are deliberately non-fatal (the result is still perfectly
+// good); they surface through Stats and the instrumented counters
+// instead.
+func RunCached(c *Cache, r *runner.Runner, pri int, rs spec.RunSpec, run func() (sim.Result, error)) (sim.Result, error) {
+	if run == nil {
+		run = func() (sim.Result, error) { return sim.Execute(rs) }
+	}
+	key := Key(rs)
 	if res, ok := c.Get(key); ok {
 		return res, nil
 	}

@@ -14,15 +14,15 @@ import (
 	"ebm/internal/obs"
 	"ebm/internal/runner"
 	"ebm/internal/sim"
-	"ebm/internal/tlp"
+	"ebm/internal/spec"
 )
 
-func testSpec() RunSpec {
+func testSpec() spec.RunSpec {
 	app, _ := kernel.ByName("BLK")
-	return RunSpec{
+	return spec.RunSpec{
 		Config:       config.Default(),
 		Apps:         []kernel.Params{app},
-		ManagerID:    "static[4]",
+		Scheme:       spec.Static([]int{4}, nil),
 		TotalCycles:  60_000,
 		WarmupCycles: 10_000,
 	}
@@ -50,68 +50,120 @@ func awkwardResult() sim.Result {
 
 func TestKeyStabilityAndInvalidation(t *testing.T) {
 	base := testSpec()
-	k := base.Key()
-	if k != testSpec().Key() {
+	k := Key(base)
+	if k != Key(testSpec()) {
 		t.Fatal("key not stable for identical specs")
 	}
 	if len(k) != 16 {
 		t.Fatalf("key %q not 16 hex digits", k)
 	}
 
-	mutations := map[string]func(*RunSpec){
-		"config":        func(s *RunSpec) { s.Config.L2MSHRs = 999 },
-		"total cycles":  func(s *RunSpec) { s.TotalCycles++ },
-		"warmup cycles": func(s *RunSpec) { s.WarmupCycles++ },
-		"manager":       func(s *RunSpec) { s.ManagerID = "static[8]" },
-		"apps":          func(s *RunSpec) { s.Apps[0].Rm += 0.01 },
-		"window":        func(s *RunSpec) { s.WindowCycles = 777 },
-		"sampling":      func(s *RunSpec) { s.DesignatedSampling = true },
-		"cores":         func(s *RunSpec) { s.CoresPerApp = []int{30} },
-		"victim tags":   func(s *RunSpec) { s.VictimTags = 1024 },
-		"l2 ways":       func(s *RunSpec) { s.L2WayPartition = [][]bool{{true}} },
+	mutations := map[string]func(*spec.RunSpec){
+		"config":        func(s *spec.RunSpec) { s.Config.L2MSHRs = 999 },
+		"total cycles":  func(s *spec.RunSpec) { s.TotalCycles++ },
+		"warmup cycles": func(s *spec.RunSpec) { s.WarmupCycles++ },
+		"scheme combo":  func(s *spec.RunSpec) { s.Scheme = spec.Static([]int{8}, nil) },
+		"scheme kind":   func(s *spec.RunSpec) { s.Scheme = spec.DynCTA() },
+		"scheme knob": func(s *spec.RunSpec) {
+			s.Scheme = spec.CCWS()
+			s.Scheme.CCWS.HighVTA = 0.2
+		},
+		"apps":        func(s *spec.RunSpec) { s.Apps[0].Rm += 0.01 },
+		"window":      func(s *spec.RunSpec) { s.WindowCycles = 777 },
+		"sampling":    func(s *spec.RunSpec) { s.DesignatedSampling = true },
+		"cores":       func(s *spec.RunSpec) { s.CoresPerApp = []int{30} },
+		"victim tags": func(s *spec.RunSpec) { s.VictimTags = 1024 },
+		"l2 ways":     func(s *spec.RunSpec) { s.L2WayPartition = [][]bool{{true}} },
 	}
 	for name, mutate := range mutations {
 		s := testSpec()
 		mutate(&s)
-		if s.Key() == k {
+		if Key(s) == k {
 			t.Errorf("key insensitive to %s change", name)
 		}
 	}
 
 	// A schema bump must change every key even for identical specs.
-	bumped := testSpec()
-	bumped.Schema = SchemaVersion + 1
+	bumped := keyEnvelope{Schema: SchemaVersion + 1, Run: testSpec().Canonical()}
 	if HashJSON(bumped) == k {
 		t.Fatal("key insensitive to schema version")
 	}
 }
 
-func TestSpecFromOptions(t *testing.T) {
-	app, _ := kernel.ByName("TRD")
-	o := sim.Options{
-		Config:             config.Default(),
-		Apps:               []kernel.Params{app},
-		Manager:            tlp.NewStatic("static[8]", []int{8}, nil),
-		TotalCycles:        50_000,
-		WarmupCycles:       5_000,
-		WindowCycles:       2_500,
-		DesignatedSampling: true,
-		VictimTags:         64,
-	}
-	s := Spec(o)
-	if s.ManagerID != "static[8]" || s.TotalCycles != 50_000 || s.VictimTags != 64 {
-		t.Fatalf("spec %+v lost options", s)
-	}
-	if Spec(sim.Options{Apps: o.Apps}).ManagerID != "++maxTLP" {
-		t.Fatal("nil manager not keyed as the engine default")
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Spec accepted a hooked run")
+// TestKeyGolden pins the cache keys of representative runs. A failure
+// here means existing on-disk caches silently invalidated — if the key
+// change is intentional (engine behaviour, canonical form, or entry
+// layout changed), bump SchemaVersion in the same commit and repin.
+func TestKeyGolden(t *testing.T) {
+	app, _ := kernel.ByName("BLK")
+	base := func(sch spec.SchemeSpec) spec.RunSpec {
+		return spec.RunSpec{
+			Config:       config.Default(),
+			Apps:         []kernel.Params{app},
+			Scheme:       sch,
+			TotalCycles:  60_000,
+			WarmupCycles: 10_000,
 		}
-	}()
-	o.OnWindow = func(tlp.Sample) {}
-	Spec(o)
+	}
+	ccwsKnobbed := spec.CCWS()
+	ccwsKnobbed.CCWS.HighVTA = 0.2
+	golden := []struct {
+		name string
+		rs   spec.RunSpec
+		key  string
+	}{
+		{"static", base(spec.Static([]int{4}, nil)), "7685589eb6dadc03"},
+		{"maxtlp", base(spec.MaxTLP()), "9e6f84e2908c386b"},
+		{"dyncta", base(spec.DynCTA()), "0fd73e0024d3e7ce"},
+		{"ccws knobbed", base(ccwsKnobbed), "f08b59db0d893673"},
+		{"pbs-ws", base(spec.PBS(0)), "9fe7f23833a9d3ba"},
+	}
+	for _, g := range golden {
+		if k := Key(g.rs); k != g.key {
+			t.Errorf("%s: key %s, want %s (did the canonical form or schema change without a SchemaVersion bump?)", g.name, k, g.key)
+		}
+	}
+}
+
+// TestKeyCanonicalEquivalence pins which distinct requests are supposed
+// to share a cache entry: aliases, labels, and default-stated knobs must
+// not fragment the cache.
+func TestKeyCanonicalEquivalence(t *testing.T) {
+	base := testSpec()
+	k := Key(base)
+
+	// A display label is not part of the run's identity.
+	labeled := base
+	labeled.Scheme = spec.Labeled("alone@4", []int{4}, nil)
+	if Key(labeled) != k {
+		t.Error("label changed the key")
+	}
+
+	// A resolved bestTLP executes as the static combination it names.
+	best := base
+	best.Scheme = spec.BestTLP([]int{4})
+	if Key(best) != k {
+		t.Error("resolved besttlp keyed differently from its static combination")
+	}
+
+	// maxTLP is the static all-MaxTLP combination.
+	mx := base
+	mx.Scheme = spec.MaxTLP()
+	st := base
+	st.Scheme = spec.Static([]int{config.MaxTLP}, nil)
+	if Key(mx) != Key(st) {
+		t.Error("maxtlp keyed differently from static[MaxTLP]")
+	}
+
+	// Knobs stated at their defaults are the defaults.
+	implicit := base
+	implicit.Scheme = spec.CCWS()
+	explicit := base
+	explicit.Scheme = spec.CCWS()
+	explicit.Scheme.CCWS.HighVTA = 0.15 // the default, stated
+	if Key(implicit) != Key(explicit) {
+		t.Error("default-valued knob changed the key")
+	}
 }
 
 func TestPutGetBitIdentical(t *testing.T) {
@@ -186,7 +238,7 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 	if err != nil || ran != 1 {
 		t.Fatalf("recompute: err %v, ran %d", err, ran)
 	}
-	if got, ok := c.Get(testSpec().Key()); !ok || !reflect.DeepEqual(got, res) {
+	if got, ok := c.Get(Key(testSpec())); !ok || !reflect.DeepEqual(got, res) {
 		t.Fatal("healed entry missing or different")
 	}
 }
@@ -204,12 +256,12 @@ func TestRunCachedHitSkipsPoolAndRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := testSpec()
+	rs := testSpec()
 	want := awkwardResult()
-	if err := c.Put(spec.Key(), want); err != nil {
+	if err := c.Put(Key(rs), want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunCached(c, nil, runner.PriEval, spec, func() (sim.Result, error) {
+	got, err := RunCached(c, nil, runner.PriEval, rs, func() (sim.Result, error) {
 		t.Fatal("run executed despite a valid cache entry")
 		return sim.Result{}, nil
 	})
@@ -225,7 +277,7 @@ func TestRunCachedDedupsConcurrentIdenticalRuns(t *testing.T) {
 	}
 	pool := runner.New(4)
 	defer pool.Close()
-	spec := testSpec()
+	rs := testSpec()
 	var execs atomic.Int64
 	gate := make(chan struct{})
 	var wg sync.WaitGroup
@@ -233,7 +285,7 @@ func TestRunCachedDedupsConcurrentIdenticalRuns(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := RunCached(c, pool, runner.PriGrid, spec, func() (sim.Result, error) {
+			res, err := RunCached(c, pool, runner.PriGrid, rs, func() (sim.Result, error) {
 				execs.Add(1)
 				<-gate
 				return awkwardResult(), nil
@@ -319,19 +371,9 @@ func TestRealRunBitIdentityThroughCache(t *testing.T) {
 	cfg.NumCores = 4
 	cfg.NumMemPartitions = 4
 	app, _ := kernel.ByName("BFS")
-	run := func() (sim.Result, error) {
-		s, err := sim.New(sim.Options{
-			Config:      cfg,
-			Apps:        []kernel.Params{app},
-			Manager:     tlp.NewStatic("static[4]", []int{4}, nil),
-			TotalCycles: 10_000, WarmupCycles: 2_000,
-		})
-		if err != nil {
-			return sim.Result{}, err
-		}
-		return s.Run(), nil
-	}
-	fresh1, err := run()
+	rs := spec.RunSpec{Config: cfg, Apps: []kernel.Params{app},
+		Scheme: spec.Static([]int{4}, nil), TotalCycles: 10_000, WarmupCycles: 2_000}
+	fresh1, err := sim.Execute(rs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,15 +381,13 @@ func TestRealRunBitIdentityThroughCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec := RunSpec{Config: cfg, Apps: []kernel.Params{app},
-		ManagerID: "static[4]", TotalCycles: 10_000, WarmupCycles: 2_000}
 	pool := runner.New(2)
 	defer pool.Close()
-	cached, err := RunCached(c, pool, runner.PriGrid, spec, run)
+	cached, err := RunCached(c, pool, runner.PriGrid, rs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := RunCached(c, pool, runner.PriGrid, spec, func() (sim.Result, error) {
+	warm, err := RunCached(c, pool, runner.PriGrid, rs, func() (sim.Result, error) {
 		t.Fatal("warm lookup re-simulated")
 		return sim.Result{}, nil
 	})
@@ -356,5 +396,50 @@ func TestRealRunBitIdentityThroughCache(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fresh1, cached) || !reflect.DeepEqual(cached, warm) {
 		t.Fatalf("cached result differs from fresh computation:\nfresh %+v\nwarm  %+v", fresh1, warm)
+	}
+}
+
+// TestKnobbedManagerRoundTripsCache covers what the spec-keyed cache
+// newly enables: a manager with a non-default knob (previously
+// unidentifiable by name string, hence uncacheable) executing through
+// the cache with full bit identity.
+func TestKnobbedManagerRoundTripsCache(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	app, _ := kernel.ByName("BFS")
+	sch := spec.CCWS()
+	sch.CCWS.HighVTA = 0.2
+	sch.CCWS.Hysteresis = 3
+	rs := spec.RunSpec{Config: cfg, Apps: []kernel.Params{app},
+		Scheme: sch, TotalCycles: 10_000, WarmupCycles: 2_000, VictimTags: 64}
+	fresh, err := sim.Execute(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunCached(c, nil, runner.PriEval, rs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunCached(c, nil, runner.PriEval, rs, func() (sim.Result, error) {
+		t.Fatal("warm lookup re-simulated")
+		return sim.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, cached) || !reflect.DeepEqual(cached, warm) {
+		t.Fatal("knobbed run not bit-identical through the cache")
+	}
+
+	// The default-knobbed scheme must be a different entry.
+	def := rs
+	def.Scheme = spec.CCWS()
+	if Key(def) == Key(rs) {
+		t.Fatal("knobbed and default CCWS share a key")
 	}
 }

@@ -1,0 +1,564 @@
+// Package spec is the canonical, serializable description of what to
+// simulate: a SchemeSpec names a TLP-management policy by kind plus its
+// typed knobs, and a RunSpec adds the machine, the applications, and the
+// run lengths. Every scheme the paper evaluates — static combinations,
+// ++bestTLP, ++maxTLP, DynCTA, Mod+Bypass, CCWS, and PBS-WS/FI/HS — is
+// registered here with a validated factory producing a tlp.Manager, so
+// commands, experiments, and the result cache all construct policies
+// from one description instead of thirty scattered switch arms.
+//
+// Specs round-trip two ways: JSON (the service-facing request encoding)
+// and the compact flag-string grammar of ParseScheme/String
+// ("static:2,8", "pbs-ws:drift=0.6,driftwin=4"). Normalization fills
+// every knob with the defaults of the real constructors, so a spec that
+// states a default explicitly and one that omits it are the same spec —
+// the property internal/simcache's canonical cache keys build on.
+package spec
+
+import (
+	"fmt"
+	"slices"
+
+	"ebm/internal/config"
+	pbscore "ebm/internal/core"
+	"ebm/internal/metrics"
+	"ebm/internal/tlp"
+)
+
+// Scheme kinds, as written in flag strings and JSON.
+const (
+	KindStatic    = "static"
+	KindBestTLP   = "besttlp"
+	KindMaxTLP    = "maxtlp"
+	KindDynCTA    = "dyncta"
+	KindModBypass = "modbypass"
+	KindCCWS      = "ccws"
+	KindPBSWS     = "pbs-ws"
+	KindPBSFI     = "pbs-fi"
+	KindPBSHS     = "pbs-hs"
+)
+
+// Kinds returns every registered scheme kind in presentation order.
+func Kinds() []string {
+	return []string{
+		KindStatic, KindBestTLP, KindMaxTLP, KindDynCTA,
+		KindModBypass, KindCCWS, KindPBSWS, KindPBSFI, KindPBSHS,
+	}
+}
+
+// StaticSpec parameterizes the static and besttlp kinds.
+type StaticSpec struct {
+	// TLPs is the per-application TLP combination. For besttlp it is the
+	// profile-derived best combination; a besttlp spec with no TLPs is
+	// unresolved and cannot build a manager yet.
+	TLPs []int `json:"tlps,omitempty"`
+
+	// Bypass optionally bypasses the L1 for selected applications. Nil
+	// and all-false are the same configuration (and normalize to nil).
+	Bypass []bool `json:"bypass,omitempty"`
+
+	// Label overrides the manager's report name (e.g. "alone@4"). It is
+	// display-only: not expressible in the flag grammar and dropped from
+	// canonical cache keys, since it never affects the simulation.
+	Label string `json:"label,omitempty"`
+}
+
+// DynCTASpec parameterizes the ++DynCTA baseline. Zero fields take the
+// defaults of tlp.NewDynCTA.
+type DynCTASpec struct {
+	HighMemStall float64 `json:"high_mem_stall,omitempty"`
+	LowMemStall  float64 `json:"low_mem_stall,omitempty"`
+	LowUtil      float64 `json:"low_util,omitempty"`
+	Hysteresis   int     `json:"hysteresis,omitempty"`
+}
+
+// CCWSSpec parameterizes the CCWS-style baseline. Zero fields take the
+// defaults of tlp.NewCCWS. The run must enable the victim-tag detector
+// (RunSpec.VictimTags) for the VTARate signal to be live.
+type CCWSSpec struct {
+	HighVTA    float64 `json:"high_vta,omitempty"`
+	LowVTA     float64 `json:"low_vta,omitempty"`
+	LowUtil    float64 `json:"low_util,omitempty"`
+	Hysteresis int     `json:"hysteresis,omitempty"`
+}
+
+// ModBypassSpec parameterizes the Mod+Bypass baseline. Zero fields take
+// the defaults of tlp.NewModBypass; ProbeEvery -1 disables re-probing.
+type ModBypassSpec struct {
+	BypassL1MR float64 `json:"bypass_l1mr,omitempty"`
+	Confirm    int     `json:"confirm,omitempty"`
+	ProbeEvery int     `json:"probe_every,omitempty"`
+}
+
+// PBSSpec parameterizes the pattern-based searching managers. Zero
+// fields take the defaults of core.NewPBS for the kind's objective.
+type PBSSpec struct {
+	// Scaling is the alone-EB scaling source: "none", "group", or
+	// "sampled". Empty means the objective's default (none for WS,
+	// sampled for FI/HS).
+	Scaling string `json:"scaling,omitempty"`
+
+	// GroupEB supplies the per-application factors for group scaling.
+	// JSON/API-only (profile-derived, not flag-expressible).
+	GroupEB []float64 `json:"group_eb,omitempty"`
+
+	SweepLevels     []int   `json:"sweep_levels,omitempty"`
+	SettleWindows   int     `json:"settle_windows,omitempty"`
+	MeasureWindows  int     `json:"measure_windows,omitempty"`
+	TunePatience    int     `json:"tune_patience,omitempty"`
+	FullSearchEvery int     `json:"full_search_every,omitempty"`
+	DriftThreshold  float64 `json:"drift_threshold,omitempty"`
+	DriftWindows    int     `json:"drift_windows,omitempty"`
+}
+
+// SchemeSpec is the canonical description of one TLP-management policy:
+// a kind plus the sub-spec that kind reads (the others stay nil). The
+// zero value of a sub-spec means "all defaults", so SchemeSpec{Kind:
+// KindDynCTA} is the paper's DynCTA baseline.
+type SchemeSpec struct {
+	Kind      string         `json:"kind"`
+	Static    *StaticSpec    `json:"static,omitempty"`
+	DynCTA    *DynCTASpec    `json:"dyncta,omitempty"`
+	CCWS      *CCWSSpec      `json:"ccws,omitempty"`
+	ModBypass *ModBypassSpec `json:"modbypass,omitempty"`
+	PBS       *PBSSpec       `json:"pbs,omitempty"`
+}
+
+// Static returns a fixed-TLP-combination scheme (bypass may be nil).
+func Static(tlps []int, bypass []bool) SchemeSpec {
+	s := SchemeSpec{Kind: KindStatic, Static: &StaticSpec{
+		TLPs:   slices.Clone(tlps),
+		Bypass: slices.Clone(bypass),
+	}}
+	return mustNormalize(s)
+}
+
+// Labeled is Static with an explicit report name (e.g. "alone@4").
+func Labeled(label string, tlps []int, bypass []bool) SchemeSpec {
+	s := Static(tlps, bypass)
+	s.Static.Label = label
+	return s
+}
+
+// BestTLP returns the ++bestTLP scheme resolved to a concrete
+// profile-derived combination.
+func BestTLP(tlps []int) SchemeSpec {
+	return mustNormalize(SchemeSpec{Kind: KindBestTLP, Static: &StaticSpec{TLPs: slices.Clone(tlps)}})
+}
+
+// MaxTLP returns the ++maxTLP scheme (every application at the top TLP).
+func MaxTLP() SchemeSpec { return mustNormalize(SchemeSpec{Kind: KindMaxTLP}) }
+
+// DynCTA returns the ++DynCTA baseline with its default thresholds.
+func DynCTA() SchemeSpec { return mustNormalize(SchemeSpec{Kind: KindDynCTA}) }
+
+// CCWS returns the CCWS-style baseline with its default thresholds.
+func CCWS() SchemeSpec { return mustNormalize(SchemeSpec{Kind: KindCCWS}) }
+
+// ModBypass returns the Mod+Bypass baseline with its default thresholds.
+func ModBypass() SchemeSpec { return mustNormalize(SchemeSpec{Kind: KindModBypass}) }
+
+// PBS returns the pattern-based searching scheme for an objective
+// (PBS-WS, PBS-FI, or PBS-HS) with the paper's default knobs.
+func PBS(obj metrics.Objective) SchemeSpec {
+	kind := KindPBSWS
+	switch obj {
+	case metrics.ObjFI:
+		kind = KindPBSFI
+	case metrics.ObjHS:
+		kind = KindPBSHS
+	}
+	return mustNormalize(SchemeSpec{Kind: kind})
+}
+
+// Unresolved reports whether the spec still needs profile-derived data
+// before it can build a manager (a besttlp scheme with no combination).
+func (s SchemeSpec) Unresolved() bool {
+	return s.Kind == KindBestTLP && (s.Static == nil || len(s.Static.TLPs) == 0)
+}
+
+// isPBS reports whether kind is one of the pattern-based searchers.
+func isPBS(kind string) bool {
+	return kind == KindPBSWS || kind == KindPBSFI || kind == KindPBSHS
+}
+
+// objective returns the EB objective a PBS kind optimizes.
+func objective(kind string) metrics.Objective {
+	switch kind {
+	case KindPBSFI:
+		return metrics.ObjFI
+	case KindPBSHS:
+		return metrics.ObjHS
+	default:
+		return metrics.ObjWS
+	}
+}
+
+// defaultPBS reads the default knobs off the real constructor so the
+// spec layer can never drift from core.NewPBS.
+func defaultPBS(kind string) *PBSSpec {
+	p := pbscore.NewPBS(objective(kind))
+	return &PBSSpec{
+		Scaling:         p.Scaling.String(),
+		SweepLevels:     p.SweepLevels,
+		SettleWindows:   p.SettleWindows,
+		MeasureWindows:  p.MeasureWindows,
+		TunePatience:    p.TunePatience,
+		FullSearchEvery: p.FullSearchEvery,
+	}
+}
+
+// defaultDynCTA / defaultCCWS / defaultModBypass likewise mirror the
+// manager constructors' defaults.
+func defaultDynCTA() *DynCTASpec {
+	d := tlp.NewDynCTA()
+	return &DynCTASpec{
+		HighMemStall: d.HighMemStall, LowMemStall: d.LowMemStall,
+		LowUtil: d.LowUtil, Hysteresis: d.Hysteresis,
+	}
+}
+
+func defaultCCWS() *CCWSSpec {
+	c := tlp.NewCCWS()
+	return &CCWSSpec{
+		HighVTA: c.HighVTA, LowVTA: c.LowVTA,
+		LowUtil: c.LowUtil, Hysteresis: c.Hysteresis,
+	}
+}
+
+func defaultModBypass() *ModBypassSpec {
+	m := tlp.NewModBypass()
+	return &ModBypassSpec{BypassL1MR: m.BypassL1MR, Confirm: m.Confirm, ProbeEvery: m.ProbeEvery}
+}
+
+func scaleMode(s string) (pbscore.ScaleMode, error) {
+	switch s {
+	case pbscore.NoScale.String():
+		return pbscore.NoScale, nil
+	case pbscore.GroupScale.String():
+		return pbscore.GroupScale, nil
+	case pbscore.SampledScale.String():
+		return pbscore.SampledScale, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown scaling %q (none|group|sampled)", s)
+	}
+}
+
+func mustNormalize(s SchemeSpec) SchemeSpec {
+	n, err := s.Normalized()
+	if err != nil {
+		panic(err) // constructors only build registered kinds
+	}
+	return n
+}
+
+// Normalized returns a deep copy with every omitted knob filled with the
+// kind's default, all-false bypass masks dropped, and sub-specs the kind
+// does not read cleared — the form in which two equivalent specs compare
+// (and hash) equal. ParseScheme and the constructors always return
+// normalized specs. Unknown kinds are an error.
+func (s SchemeSpec) Normalized() (SchemeSpec, error) {
+	out := SchemeSpec{Kind: s.Kind}
+	switch s.Kind {
+	case KindStatic, KindBestTLP:
+		st := &StaticSpec{}
+		if s.Static != nil {
+			st.TLPs = slices.Clone(s.Static.TLPs)
+			st.Label = s.Static.Label
+			if slices.Contains(s.Static.Bypass, true) {
+				st.Bypass = slices.Clone(s.Static.Bypass)
+			}
+		}
+		out.Static = st
+	case KindMaxTLP:
+		// No knobs.
+	case KindDynCTA:
+		d := defaultDynCTA()
+		if s.DynCTA != nil {
+			fillF(&d.HighMemStall, s.DynCTA.HighMemStall)
+			fillF(&d.LowMemStall, s.DynCTA.LowMemStall)
+			fillF(&d.LowUtil, s.DynCTA.LowUtil)
+			fillI(&d.Hysteresis, s.DynCTA.Hysteresis)
+		}
+		out.DynCTA = d
+	case KindCCWS:
+		c := defaultCCWS()
+		if s.CCWS != nil {
+			fillF(&c.HighVTA, s.CCWS.HighVTA)
+			fillF(&c.LowVTA, s.CCWS.LowVTA)
+			fillF(&c.LowUtil, s.CCWS.LowUtil)
+			fillI(&c.Hysteresis, s.CCWS.Hysteresis)
+		}
+		out.CCWS = c
+	case KindModBypass:
+		m := defaultModBypass()
+		if s.ModBypass != nil {
+			fillF(&m.BypassL1MR, s.ModBypass.BypassL1MR)
+			fillI(&m.Confirm, s.ModBypass.Confirm)
+			fillI(&m.ProbeEvery, s.ModBypass.ProbeEvery)
+		}
+		if m.ProbeEvery < 0 {
+			m.ProbeEvery = -1 // every non-positive value means "never probe"
+		}
+		out.ModBypass = m
+	case KindPBSWS, KindPBSFI, KindPBSHS:
+		p := defaultPBS(s.Kind)
+		if s.PBS != nil {
+			if s.PBS.Scaling != "" {
+				p.Scaling = s.PBS.Scaling
+			}
+			if len(s.PBS.SweepLevels) > 0 {
+				p.SweepLevels = slices.Clone(s.PBS.SweepLevels)
+			}
+			p.GroupEB = slices.Clone(s.PBS.GroupEB)
+			fillI(&p.SettleWindows, s.PBS.SettleWindows)
+			fillI(&p.MeasureWindows, s.PBS.MeasureWindows)
+			fillI(&p.TunePatience, s.PBS.TunePatience)
+			fillI(&p.FullSearchEvery, s.PBS.FullSearchEvery)
+			p.DriftThreshold = s.PBS.DriftThreshold
+			p.DriftWindows = s.PBS.DriftWindows
+		}
+		// The drift detector is one feature: no threshold means the window
+		// count is dead, and an enabled detector acts on at least one
+		// window — normalize both so equivalent configs compare equal.
+		if p.DriftThreshold == 0 {
+			p.DriftWindows = 0
+		} else if p.DriftWindows == 0 {
+			p.DriftWindows = 1
+		}
+		p.SweepLevels = slices.Clone(p.SweepLevels)
+		out.PBS = p
+	default:
+		return SchemeSpec{}, fmt.Errorf("spec: unknown scheme kind %q (one of %v)", s.Kind, Kinds())
+	}
+	return out, nil
+}
+
+// fillF/fillI overwrite the default with an explicitly set (non-zero)
+// knob. Zero always means "use the default"; none of the knobs has a
+// meaningful zero setting (ProbeEvery's "off" is -1).
+func fillF(dst *float64, v float64) {
+	if v != 0 {
+		*dst = v
+	}
+}
+
+func fillI(dst *int, v int) {
+	if v != 0 {
+		*dst = v
+	}
+}
+
+// Validate checks the (normalized) spec against an application count.
+// numApps 0 defers the per-application length checks to run time — the
+// facade uses it for managers built before the workload is chosen;
+// kinds that cannot be built without the count (maxtlp) reject it.
+func (s SchemeSpec) Validate(numApps int) error {
+	n, err := s.Normalized()
+	if err != nil {
+		return err
+	}
+	if numApps < 0 {
+		return fmt.Errorf("spec: negative application count %d", numApps)
+	}
+	switch n.Kind {
+	case KindStatic, KindBestTLP:
+		if s.Unresolved() {
+			return fmt.Errorf("spec: besttlp combination unresolved; resolve it from alone profiles (spec.BestTLP)")
+		}
+		st := n.Static
+		if len(st.TLPs) == 0 {
+			return fmt.Errorf("spec: %s needs a TLP combination, e.g. %q", n.Kind, n.Kind+":2,8")
+		}
+		if numApps > 0 && len(st.TLPs) != numApps {
+			return fmt.Errorf("spec: %s has %d TLP values for %d applications", n.Kind, len(st.TLPs), numApps)
+		}
+		for _, t := range st.TLPs {
+			if t < 1 || t > config.MaxTLP {
+				return fmt.Errorf("spec: TLP %d out of range 1..%d", t, config.MaxTLP)
+			}
+		}
+		if st.Bypass != nil && len(st.Bypass) != len(st.TLPs) {
+			return fmt.Errorf("spec: bypass mask has %d values for %d applications", len(st.Bypass), len(st.TLPs))
+		}
+	case KindMaxTLP:
+		if numApps == 0 {
+			return fmt.Errorf("spec: maxtlp needs the application count")
+		}
+	case KindDynCTA:
+		d := n.DynCTA
+		if d.Hysteresis < 1 {
+			return fmt.Errorf("spec: dyncta hysteresis %d < 1", d.Hysteresis)
+		}
+		if d.LowMemStall >= d.HighMemStall {
+			return fmt.Errorf("spec: dyncta lomem %g >= himem %g", d.LowMemStall, d.HighMemStall)
+		}
+	case KindCCWS:
+		c := n.CCWS
+		if c.Hysteresis < 1 {
+			return fmt.Errorf("spec: ccws hysteresis %d < 1", c.Hysteresis)
+		}
+		if c.LowVTA >= c.HighVTA {
+			return fmt.Errorf("spec: ccws lovta %g >= hivta %g", c.LowVTA, c.HighVTA)
+		}
+	case KindModBypass:
+		m := n.ModBypass
+		if m.BypassL1MR <= 0 || m.BypassL1MR > 1 {
+			return fmt.Errorf("spec: modbypass l1mr %g outside (0,1]", m.BypassL1MR)
+		}
+		if m.Confirm < 1 {
+			return fmt.Errorf("spec: modbypass confirm %d < 1", m.Confirm)
+		}
+	default: // pbs-*
+		p := n.PBS
+		mode, err := scaleMode(p.Scaling)
+		if err != nil {
+			return err
+		}
+		if mode == pbscore.GroupScale {
+			if len(p.GroupEB) == 0 {
+				return fmt.Errorf("spec: %s group scaling needs per-application group_eb factors", n.Kind)
+			}
+			if numApps > 0 && len(p.GroupEB) != numApps {
+				return fmt.Errorf("spec: %s has %d group_eb factors for %d applications", n.Kind, len(p.GroupEB), numApps)
+			}
+		}
+		if len(p.SweepLevels) == 0 {
+			return fmt.Errorf("spec: %s needs sweep levels", n.Kind)
+		}
+		for _, t := range p.SweepLevels {
+			if t < 1 || t > config.MaxTLP {
+				return fmt.Errorf("spec: sweep level %d out of range 1..%d", t, config.MaxTLP)
+			}
+		}
+		if p.MeasureWindows < 1 || p.SettleWindows < 0 {
+			return fmt.Errorf("spec: %s measure_windows %d / settle_windows %d invalid", n.Kind, p.MeasureWindows, p.SettleWindows)
+		}
+		if p.DriftThreshold < 0 || p.DriftWindows < 0 {
+			return fmt.Errorf("spec: %s drift knobs must be non-negative", n.Kind)
+		}
+	}
+	return nil
+}
+
+// Manager validates the spec and builds the tlp.Manager it describes —
+// the single registry-backed construction path for every scheme. The
+// manager's Name() is deterministic in the spec, so equal specs always
+// report (and key) identically.
+func (s SchemeSpec) Manager(numApps int) (tlp.Manager, error) {
+	if err := s.Validate(numApps); err != nil {
+		return nil, err
+	}
+	n, _ := s.Normalized() // Validate already proved it normalizes
+	switch n.Kind {
+	case KindStatic:
+		name := n.Static.Label
+		if name == "" {
+			name = fmt.Sprintf("static%v", n.Static.TLPs)
+		}
+		return tlp.NewStatic(name, n.Static.TLPs, n.Static.Bypass), nil
+	case KindBestTLP:
+		name := n.Static.Label
+		if name == "" {
+			// The combination is part of the name so reports distinguish
+			// runs even when re-profiling changes the best TLPs.
+			name = fmt.Sprintf("++bestTLP%v", n.Static.TLPs)
+		}
+		return tlp.NewStatic(name, n.Static.TLPs, n.Static.Bypass), nil
+	case KindMaxTLP:
+		return tlp.NewMaxTLP(numApps), nil
+	case KindDynCTA:
+		d := tlp.NewDynCTA()
+		d.HighMemStall = n.DynCTA.HighMemStall
+		d.LowMemStall = n.DynCTA.LowMemStall
+		d.LowUtil = n.DynCTA.LowUtil
+		d.Hysteresis = n.DynCTA.Hysteresis
+		return d, nil
+	case KindCCWS:
+		c := tlp.NewCCWS()
+		c.HighVTA = n.CCWS.HighVTA
+		c.LowVTA = n.CCWS.LowVTA
+		c.LowUtil = n.CCWS.LowUtil
+		c.Hysteresis = n.CCWS.Hysteresis
+		return c, nil
+	case KindModBypass:
+		m := tlp.NewModBypass()
+		m.BypassL1MR = n.ModBypass.BypassL1MR
+		m.Confirm = n.ModBypass.Confirm
+		m.ProbeEvery = n.ModBypass.ProbeEvery
+		return m, nil
+	default: // pbs-*
+		p := pbscore.NewPBS(objective(n.Kind))
+		mode, _ := scaleMode(n.PBS.Scaling) // validated above
+		p.Scaling = mode
+		p.GroupValues = slices.Clone(n.PBS.GroupEB)
+		p.SweepLevels = slices.Clone(n.PBS.SweepLevels)
+		p.SettleWindows = n.PBS.SettleWindows
+		p.MeasureWindows = n.PBS.MeasureWindows
+		p.TunePatience = n.PBS.TunePatience
+		p.FullSearchEvery = n.PBS.FullSearchEvery
+		p.DriftThreshold = n.PBS.DriftThreshold
+		p.DriftWindows = n.PBS.DriftWindows
+		return p, nil
+	}
+}
+
+// MustManager is Manager for specs known valid by construction.
+func MustManager(s SchemeSpec, numApps int) tlp.Manager {
+	m, err := s.Manager(numApps)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// PBSManager builds a pbs-* spec's manager with its concrete type, for
+// call sites that read the search telemetry (Searching/Searches/
+// Restarts/Drifts) or install the phase probe.
+func PBSManager(s SchemeSpec, numApps int) (*pbscore.PBS, error) {
+	if !isPBS(s.Kind) {
+		return nil, fmt.Errorf("spec: %q is not a pbs scheme", s.Kind)
+	}
+	m, err := s.Manager(numApps)
+	if err != nil {
+		return nil, err
+	}
+	return m.(*pbscore.PBS), nil
+}
+
+// canonical rewrites the scheme into the form that identifies the
+// simulation's behaviour and nothing else, for cache keying:
+//
+//   - maxtlp and resolved besttlp collapse to the static combination
+//     they execute as (so ++bestTLP[2 8], static:2,8, and an alone run
+//     at the same levels deduplicate);
+//   - display labels are dropped;
+//   - every remaining knob is explicit at its default (normalization),
+//     so "ccws" and "ccws:hivta=0.15" key identically.
+//
+// Invalid specs are returned unchanged — they can never execute, so
+// their keys only need to be deterministic.
+func (s SchemeSpec) canonical(numApps int) SchemeSpec {
+	n, err := s.Normalized()
+	if err != nil {
+		return s
+	}
+	switch n.Kind {
+	case KindMaxTLP:
+		if numApps <= 0 {
+			return n
+		}
+		tlps := make([]int, numApps)
+		for i := range tlps {
+			tlps[i] = config.MaxTLP
+		}
+		return SchemeSpec{Kind: KindStatic, Static: &StaticSpec{TLPs: tlps}}
+	case KindStatic, KindBestTLP:
+		if s.Unresolved() {
+			return n
+		}
+		return SchemeSpec{Kind: KindStatic, Static: &StaticSpec{TLPs: n.Static.TLPs, Bypass: n.Static.Bypass}}
+	default:
+		return n
+	}
+}
