@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify race bench obs-bench figs-bench test build
+.PHONY: all verify race chaos bench obs-bench figs-bench test build
 
 all: verify
 
@@ -22,11 +22,21 @@ verify:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping"; fi
 	$(GO) test ./...
+	$(GO) test -race ./internal/runner/... ./internal/resilience/...
 
 # race runs the short test suite under the race detector (the grid builder
 # and profiler are the only concurrent paths).
 race:
 	$(GO) test -race -short ./...
+
+# chaos runs the fault-injection suite (DESIGN.md §10) under the race
+# detector: injected cache I/O faults, a task panic, watchdog trips on a
+# stalled engine, and a real SIGINT mid-grid-build with clean resume.
+chaos:
+	$(GO) test -race -run 'Chaos|Cancel|Watchdog|Degrade|Injected|MidWrite|Fault|SIGINT' \
+	    . ./internal/sim/... ./internal/simcache/... \
+	    ./internal/faultinject/... ./internal/resilience/... \
+	    ./internal/runner/... ./internal/cli/...
 
 # bench snapshots the substrate benchmarks into BENCH_*.json via
 # cmd/benchdiff; BENCH=BENCH_2.json picks the output file, and

@@ -37,7 +37,7 @@ var (
 func env(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchEnvOnce.Do(func() {
-		benchEnv, benchEnvErr = experiments.NewEnv(experiments.Options{
+		benchEnv, benchEnvErr = experiments.NewEnv(nil, experiments.Options{
 			Config:       config.Default(),
 			ProfileCache: "profiles_bench.json",
 			GridCycles:   40_000,
@@ -208,7 +208,7 @@ func benchFigsEnv(b *testing.B, dir string) *experiments.Env {
 	cfg := config.Default()
 	cfg.NumCores = 4
 	cfg.NumMemPartitions = 4
-	e, err := experiments.NewEnv(experiments.Options{
+	e, err := experiments.NewEnv(nil, experiments.Options{
 		Config:       cfg,
 		GridCycles:   8_000,
 		GridWarmup:   1_000,

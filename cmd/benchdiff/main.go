@@ -15,6 +15,8 @@
 // Makefile's obs-bench target uses it to hold the observability overhead
 // under 5%.
 //
+// SIGINT/SIGTERM cancels the benchmark subprocess and exits 130.
+//
 // The default -bench selection covers the simulator substrate
 // (BenchmarkCycleTick, BenchmarkRequestPool, BenchmarkMSHRTable,
 // BenchmarkSimulatorCycles); pass your own regex for the full paper-panel
@@ -25,6 +27,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +35,8 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+
+	"ebm/internal/cli"
 )
 
 // Bench is one benchmark's recorded figures.
@@ -49,17 +54,22 @@ type File struct {
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
-func main() {
+func main() { cli.Main("benchdiff", run) }
+
+func run(ctx context.Context) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		bench     = flag.String("bench", "CycleTick|RequestPool|MSHRTable|SimulatorCycles", "benchmark regex passed to go test -bench")
-		pkgs      = flag.String("pkgs", "./...", "package pattern to benchmark")
-		benchtime = flag.String("benchtime", "", "go test -benchtime value (empty: default)")
-		count     = flag.Int("count", 1, "go test -count value")
-		out       = flag.String("out", "BENCH_1.json", "output JSON snapshot (empty disables)")
-		old       = flag.String("old", "", "previous snapshot to diff against")
-		maxRatio  = flag.String("maxratio", "", "assert ns/op ratio 'BenchA/BenchB=1.05' within this run")
+		bench     = fs.String("bench", "CycleTick|RequestPool|MSHRTable|SimulatorCycles", "benchmark regex passed to go test -bench")
+		pkgs      = fs.String("pkgs", "./...", "package pattern to benchmark")
+		benchtime = fs.String("benchtime", "", "go test -benchtime value (empty: default)")
+		count     = fs.Int("count", 1, "go test -count value")
+		out       = fs.String("out", "BENCH_1.json", "output JSON snapshot (empty disables)")
+		old       = fs.String("old", "", "previous snapshot to diff against")
+		maxRatio  = fs.String("maxratio", "", "assert ns/op ratio 'BenchA/BenchB=1.05' within this run")
 	)
-	flag.Parse()
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-count", strconv.Itoa(*count)}
@@ -67,34 +77,33 @@ func main() {
 		args = append(args, "-benchtime", *benchtime)
 	}
 	args = append(args, *pkgs)
-	cmd := exec.Command("go", args...)
+	cmd := exec.CommandContext(ctx, "go", args...)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
 	fmt.Fprintln(os.Stderr, "benchdiff: go", strings.Join(args, " "))
 	if err := cmd.Run(); err != nil {
 		os.Stderr.Write(buf.Bytes())
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr // the subprocess was killed by the signal
+		}
+		return err
 	}
 	os.Stderr.Write(buf.Bytes())
 
 	benches := parse(buf.Bytes())
 	if len(benches) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines matched")
-		os.Exit(1)
+		return fmt.Errorf("no benchmark lines matched")
 	}
 	snap := File{Command: "go " + strings.Join(args, " "), Benchmarks: benches}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchdiff:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "benchdiff:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "benchdiff: wrote %s (%d benchmarks)\n", *out, len(benches))
 	}
@@ -102,18 +111,17 @@ func main() {
 	if *old != "" {
 		prev, err := load(*old)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchdiff:", err)
-			os.Exit(1)
+			return err
 		}
 		diff(os.Stdout, prev, snap)
 	}
 
 	if *maxRatio != "" {
 		if err := assertRatio(snap, *maxRatio); err != nil {
-			fmt.Fprintln(os.Stderr, "benchdiff:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 // assertRatio checks a "Numerator/Denominator=bound" constraint against

@@ -28,73 +28,144 @@
 // full configuration; a repeated invocation with identical flags replays
 // bit-identically from disk. Runs with -trace/-chrometrace/-listen bypass
 // the cache (they need the live event stream).
+//
+// -chaos runs the workload under deterministic fault injection (seeded by
+// -chaos-seed): cache reads and writes fail probabilistically, the engine
+// stalls periodically, and a progress watchdog guards the run — a live
+// demonstration of the failure model of DESIGN.md §10. The run must still
+// produce correct metrics; the injected-fault tally is printed at exit.
+//
+// SIGINT/SIGTERM cancels the run cooperatively (exit 130); a second
+// signal kills the process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"ebm/internal/cli"
 	"ebm/internal/config"
 	pbscore "ebm/internal/core"
+	"ebm/internal/faultinject"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/obs"
 	"ebm/internal/profile"
+	"ebm/internal/resilience"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
 	"ebm/internal/spec"
 	"ebm/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("ebsim", run) }
+
+func run(ctx context.Context) error {
+	fs := flag.NewFlagSet("ebsim", flag.ContinueOnError)
 	var (
-		wlName  = flag.String("workload", "", "workload name, e.g. BLK_TRD (suite apps joined by _)")
-		alone   = flag.String("alone", "", "profile a single application across all TLP levels")
-		scheme  = flag.String("scheme", "pbs-ws", spec.FlagHelp())
-		tlps    = flag.String("tlp", "", "comma-separated TLP combination for -scheme static/besttlp (sugar for static:N,M)")
-		cycles  = flag.Uint64("cycles", 300_000, "total simulated core cycles")
-		warmup  = flag.Uint64("warmup", 10_000, "warmup cycles excluded from metrics")
-		window  = flag.Uint64("window", 2_500, "sampling window in cycles")
-		cache   = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
-		simc    = flag.String("simcache", "", "simulation-result cache directory (empty disables)")
-		verbose = flag.Bool("v", false, "print per-application details")
-		traceF  = flag.String("trace", "", "write per-window TLP/EB/BW/CMR time series to a CSV file")
-		chromeF = flag.String("chrometrace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
-		listen  = flag.String("listen", "", "serve live Prometheus metrics on this address, e.g. :8080 (0 picks a port)")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
+		wlName    = fs.String("workload", "", "workload name, e.g. BLK_TRD (suite apps joined by _)")
+		alone     = fs.String("alone", "", "profile a single application across all TLP levels")
+		scheme    = fs.String("scheme", "pbs-ws", spec.FlagHelp())
+		tlps      = fs.String("tlp", "", "comma-separated TLP combination for -scheme static/besttlp (sugar for static:N,M)")
+		cycles    = fs.Uint64("cycles", 300_000, "total simulated core cycles")
+		warmup    = fs.Uint64("warmup", 10_000, "warmup cycles excluded from metrics")
+		window    = fs.Uint64("window", 2_500, "sampling window in cycles")
+		cache     = fs.String("cache", "profiles.json", "alone-profile cache (empty disables)")
+		simc      = fs.String("simcache", "", "simulation-result cache directory (empty disables)")
+		verbose   = fs.Bool("v", false, "print per-application details")
+		traceF    = fs.String("trace", "", "write per-window TLP/EB/BW/CMR time series to a CSV file")
+		chromeF   = fs.String("chrometrace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
+		listen    = fs.String("listen", "", "serve live Prometheus metrics on this address, e.g. :8080 (0 picks a port)")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to `file`")
+		chaos     = fs.Bool("chaos", false, "inject deterministic faults (cache I/O errors, stalls) and guard the run with a watchdog")
+		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the -chaos fault injector")
 	)
-	flag.Parse()
-	defer startProfiles(*cpuProf, *memProf)()
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg := config.Default()
 
 	var rcache *simcache.Cache
 	if *simc != "" {
-		var err error
 		rcache, err = simcache.Open(*simc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
+	// The live-metrics registry is created up front so the resilience
+	// counters land on the same /metrics endpoint as the engine's.
+	var reg *obs.Registry
+	if *listen != "" {
+		reg = obs.NewRegistry()
+	}
+
+	// Chaos mode: a seeded injector feeds faults into the cache and the
+	// engine's window boundaries; the resilience monitor tallies the
+	// incidents; a watchdog aborts the run if injected stalls ever exceed
+	// the progress deadline. Injected faults never change results — cache
+	// read failures degrade to direct execution, write failures retry and
+	// then warn — so the metrics printed below stay correct.
+	var (
+		inj *faultinject.Injector
+		mon *resilience.Monitor
+		dog *resilience.Watchdog
+	)
+	if *chaos {
+		inj = faultinject.New(faultinject.Config{
+			Seed:              *chaosSeed,
+			CacheReadErrProb:  0.25,
+			CacheWriteErrProb: 0.25,
+			StallEveryWindows: 16,
+			Stall:             time.Millisecond,
+		})
+		monReg := reg
+		if monReg == nil {
+			monReg = obs.NewRegistry() // private tally for the exit report
+		}
+		mon = resilience.NewMonitor(monReg, nil)
+		if rcache != nil {
+			rcache.SetHooks(inj)
+			rcache.SetResilience(resilience.DefaultPolicy(), mon)
+		}
+		dog = resilience.NewWatchdog(resilience.WatchdogOptions{
+			Label:    "ebsim",
+			Deadline: 30 * time.Second,
+			Mon:      mon,
+		})
+		guarded, cancel := dog.Guard(ctx)
+		defer cancel()
+		ctx = guarded
+		defer func() {
+			c := inj.Counts()
+			fmt.Fprintf(os.Stderr,
+				"ebsim: chaos: seed=%d injected %d cache read errors, %d cache write errors, %d stalls; cache retries=%d, watchdog tripped=%v\n",
+				*chaosSeed, c.ReadErrs, c.WriteErrs, c.Stalls, mon.CacheRetries.Value(), dog.Tripped())
+		}()
+	}
+
 	if *alone != "" {
-		runAlone(cfg, *alone, rcache)
-		return
+		return runAlone(ctx, cfg, *alone, rcache)
 	}
 	if *wlName == "" {
-		fmt.Fprintln(os.Stderr, "ebsim: pass -workload NAME or -alone APP")
-		os.Exit(2)
+		return cli.Usagef("pass -workload NAME or -alone APP")
 	}
 	wl, ok := workload.ByName(*wlName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ebsim: unknown workload %q; apps: %v\n", *wlName, kernel.Names())
-		os.Exit(2)
+		return cli.Usagef("unknown workload %q; apps: %v", *wlName, kernel.Names())
 	}
 
 	// Equal core partitioning requires divisibility: shrink the machine
@@ -105,28 +176,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ebsim: using %d cores for an equal %d-way split\n",
 			cfg.NumCores, len(wl.Apps))
 	}
-	profOpts := profile.Options{Config: cfg, CoresAlone: cfg.NumCores / len(wl.Apps), Cache: rcache}
+	profOpts := profile.Options{Config: cfg, CoresAlone: cfg.NumCores / len(wl.Apps), Cache: rcache, Mon: mon}
 	cachePath := *cache
 	if len(wl.Apps) != 2 && cachePath != "" {
 		// The default cache holds half-machine profiles; keep other
 		// shares in their own file.
 		cachePath = fmt.Sprintf("profiles_%dapp.json", len(wl.Apps))
 	}
-	suite, err := profile.LoadOrProfile(cachePath, kernel.All(), profOpts)
+	suite, err := profile.LoadOrProfile(ctx, cachePath, kernel.All(), profOpts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ebsim: profiling: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("profiling: %w", err)
 	}
 	names := wl.Names()
 	aloneIPC, err := suite.AloneIPC(names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(1)
+		return err
 	}
 	bestTLPs, err := suite.BestTLPs(names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	// Legacy sugar: -tlp appends the level list to a bare scheme kind.
@@ -135,16 +203,14 @@ func main() {
 	}
 	sch, err := spec.ParseScheme(*scheme)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(2)
+		return cli.Usagef("%v", err)
 	}
 	if sch.Kind == spec.KindBestTLP && len(sch.Static.TLPs) == 0 {
 		sch = spec.BestTLP(bestTLPs) // resolve from the alone profiles
 	}
 	mgr, err := sch.Manager(len(wl.Apps))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(2)
+		return cli.Usagef("%v", err)
 	}
 
 	victimTags := 0
@@ -162,9 +228,7 @@ func main() {
 		if *traceF != "" || *chromeF != "" {
 			observer.Journal = obs.NewJournal()
 		}
-		if *listen != "" {
-			observer.Metrics = obs.NewRegistry()
-		}
+		observer.Metrics = reg // nil unless -listen
 		if pbs, ok := mgr.(*pbscore.PBS); ok {
 			observer.PhaseFn = pbs.Phase
 		}
@@ -172,8 +236,7 @@ func main() {
 	if *listen != "" {
 		srv, err := obs.Serve(*listen, observer.Metrics)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
+			return err
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "ebsim: serving metrics on http://%s/metrics\n", srv.Addr)
@@ -195,42 +258,48 @@ func main() {
 		// invocation with identical flags replays bit-identically from
 		// disk. Observed runs must execute for their event streams, so
 		// they bypass the cache.
-		res, err = simcache.RunCached(rcache, nil, 0, rs, nil)
+		res, err = simcache.RunCached(ctx, rcache, nil, 0, rs, directRun(rs, inj, dog))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
+			return err
 		}
 	} else {
 		runOpts, err := sim.FromSpec(rs)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
+			return err
 		}
 		runOpts.Manager = mgr // the instance observer.PhaseFn is wired to
 		runOpts.Obs = observer
+		if inj != nil { // a typed-nil *Injector must not become a non-nil Hooks
+			runOpts.Hooks = inj
+		}
+		runOpts.Watchdog = dog
 		s, err := sim.New(runOpts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
+			return err
 		}
-		res = s.Run()
+		if res, err = s.RunContext(ctx); err != nil {
+			return err
+		}
 	}
 
 	if *traceF != "" {
-		writeFile(*traceF, func(f *os.File) error {
+		if err := writeFile(*traceF, func(f *os.File) error {
 			return obs.WriteWindowsCSV(f, observer.Journal, len(wl.Apps))
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if *chromeF != "" {
-		writeFile(*chromeF, func(f *os.File) error {
+		if err := writeFile(*chromeF, func(f *os.File) error {
 			return obs.WriteChromeTrace(f, observer.Journal, obs.ChromeTraceOptions{AppNames: names})
-		})
+		}); err != nil {
+			return err
+		}
 	}
 
 	sd, err := metrics.Slowdowns(res.IPCs(), aloneIPC)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("workload %s under %s (%d cycles, %d windows)\n",
 		wl.Name, mgr.Name(), res.Cycles, res.Windows)
@@ -246,39 +315,63 @@ func main() {
 				a.MemStallFrac, a.IssueUtil, a.AvgTLP, a.Kernels)
 		}
 	}
+	return nil
 }
 
-// writeFile creates path, runs write against it, and exits on any error.
-func writeFile(path string, write func(*os.File) error) {
+// directRun builds the cache-miss execution path for RunCached: a plain
+// spec execution, except under -chaos where the engine also carries the
+// injector's window hooks and the watchdog's pulse. Nil hooks and
+// watchdog make this equivalent to the default path.
+func directRun(rs spec.RunSpec, inj *faultinject.Injector, dog *resilience.Watchdog) func(context.Context) (sim.Result, error) {
+	if inj == nil && dog == nil {
+		return nil // RunCached falls back to sim.Execute
+	}
+	return func(ctx context.Context) (sim.Result, error) {
+		opts, err := sim.FromSpec(rs)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if inj != nil {
+			opts.Hooks = inj
+		}
+		opts.Watchdog = dog
+		s, err := sim.New(opts)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return s.RunContext(ctx)
+	}
+}
+
+// writeFile creates path and runs write against it.
+func writeFile(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(1)
+		return err
 	}
 	if err := write(f); err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(1)
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "ebsim: wrote %s\n", path)
+	return nil
 }
 
 // startProfiles starts a CPU profile and arranges a heap profile; the
-// returned func stops and writes them. Profiles are skipped on the error
-// paths that os.Exit (defers do not run there).
-func startProfiles(cpuPath, memPath string) func() {
+// returned func stops and writes them. With the single-exit-point run
+// pattern the deferred stop now runs on every path, including errors.
+func startProfiles(cpuPath, memPath string) (func(), error) {
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
+			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ebsim:", err)
-			os.Exit(1)
+			f.Close()
+			return nil, err
 		}
 	}
 	return func() {
@@ -297,19 +390,17 @@ func startProfiles(cpuPath, memPath string) func() {
 			}
 			f.Close()
 		}
-	}
+	}, nil
 }
 
-func runAlone(cfg config.GPU, name string, rcache *simcache.Cache) {
+func runAlone(ctx context.Context, cfg config.GPU, name string, rcache *simcache.Cache) error {
 	app, ok := kernel.ByName(name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ebsim: unknown application %q; apps: %v\n", name, kernel.Names())
-		os.Exit(2)
+		return cli.Usagef("unknown application %q; apps: %v", name, kernel.Names())
 	}
-	p, err := profile.ProfileApp(app, profile.Options{Config: cfg, Cache: rcache})
+	p, err := profile.ProfileApp(ctx, app, profile.Options{Config: cfg, Cache: rcache})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ebsim:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("%s alone (bestTLP=%d, IPC=%.2f, EB=%.3f)\n", name, p.BestTLP, p.BestIPC, p.BestEB)
 	fmt.Printf("%4s %8s %7s %7s %7s %8s %7s\n", "TLP", "IPC", "L1MR", "L2MR", "CMR", "BW", "EB")
@@ -318,4 +409,5 @@ func runAlone(cfg config.GPU, name string, rcache *simcache.Cache) {
 		fmt.Printf("%4d %8.3f %7.3f %7.3f %7.3f %8.3f %7.3f\n",
 			l.TLP, a.IPC, a.L1MR, a.L2MR, a.CMR, a.BW, a.EB)
 	}
+	return nil
 }

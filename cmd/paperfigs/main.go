@@ -12,9 +12,15 @@
 // Alone-run profiles are cached in ./profiles.json by default (-cache "").
 // Simulation results are cached under ./simcache by default (-simcache "");
 // a warm rerun replays grids, evaluations, and profiles from disk.
+//
+// SIGINT/SIGTERM cancels the run cooperatively: in-flight simulations
+// abort at their next window boundary, completed results stay persisted
+// in the caches, and a rerun resumes from them (exit 130). A second
+// signal kills the process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,31 +28,36 @@ import (
 	"path/filepath"
 	"time"
 
+	"ebm/internal/cli"
 	"ebm/internal/experiments"
 	"ebm/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("paperfigs", run) }
+
+func run(ctx context.Context) error {
+	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		id    = flag.String("id", "", "run a single experiment by id (e.g. fig9)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced run lengths and the 10 representative workloads")
-		cache = flag.String("cache", "profiles.json", "alone-profile cache path (empty disables)")
-		simc  = flag.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
-		out   = flag.String("out", "", "directory to also write one text file per experiment")
+		list  = fs.Bool("list", false, "list experiments and exit")
+		id    = fs.String("id", "", "run a single experiment by id (e.g. fig9)")
+		all   = fs.Bool("all", false, "run every experiment")
+		quick = fs.Bool("quick", false, "reduced run lengths and the 10 representative workloads")
+		cache = fs.String("cache", "profiles.json", "alone-profile cache path (empty disables)")
+		simc  = fs.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
+		out   = fs.String("out", "", "directory to also write one text file per experiment")
 	)
-	flag.Parse()
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, x := range experiments.Registry() {
 			fmt.Printf("%-8s %s\n", x.ID, x.Title)
 		}
-		return
+		return nil
 	}
 	if !*all && *id == "" {
-		fmt.Fprintln(os.Stderr, "paperfigs: pass -id <experiment>, -all, or -list")
-		os.Exit(2)
+		return cli.Usagef("pass -id <experiment>, -all, or -list")
 	}
 
 	opt := experiments.Options{ProfileCache: *cache, SimCache: *simc}
@@ -58,10 +69,9 @@ func main() {
 		opt.Workloads = workload.Representative()
 	}
 	start := time.Now()
-	env, err := experiments.NewEnv(opt)
+	env, err := experiments.NewEnv(ctx, opt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "paperfigs: profiling failed: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("profiling failed: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "profiles ready in %.1fs\n", time.Since(start).Seconds())
 	defer func() {
@@ -72,7 +82,7 @@ func main() {
 		}
 	}()
 
-	run := func(x experiments.Experiment) error {
+	runOne := func(x experiments.Experiment) error {
 		var w io.Writer = os.Stdout
 		var f *os.File
 		if *out != "" {
@@ -98,19 +108,17 @@ func main() {
 	if *id != "" {
 		x, ok := experiments.ByID(*id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q (try -list)\n", *id)
-			os.Exit(2)
+			return cli.Usagef("unknown experiment %q (try -list)", *id)
 		}
-		if err := run(x); err != nil {
-			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-			os.Exit(1)
-		}
-		return
+		return runOne(x)
 	}
 	for _, x := range experiments.Registry() {
-		if err := run(x); err != nil {
-			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
-			os.Exit(1)
+		if err := ctx.Err(); err != nil {
+			return err // stop between experiments; completed panels are already printed
+		}
+		if err := runOne(x); err != nil {
+			return err
 		}
 	}
+	return nil
 }

@@ -13,19 +13,24 @@
 // The grid's combinations run concurrently; -parallel bounds the worker
 // count (default: all CPUs, runtime.NumCPU). Per-combination progress is
 // journaled and echoed to stderr; -listen additionally serves live
-// ebm_sweep_combos_done/total gauges (plus cache hit/miss counters) on
-// /metrics. -o tees the report into a file (parent directories are
-// created). -cpuprofile/-memprofile write pprof profiles of the build.
-// Wall-clock time and simulations per second are reported on stderr at
-// exit.
+// ebm_sweep_combos_done/total gauges (plus cache hit/miss and resilience
+// counters) on /metrics. -o tees the report into a file (parent
+// directories are created). -cpuprofile/-memprofile write pprof profiles
+// of the build. Wall-clock time and simulations per second are reported
+// on stderr at exit.
 //
 // Results are persisted per combination under -simcache (default
 // ./simcache), so an interrupted sweep resumes where it left off: already
 // persisted combinations replay from disk, only the missing ones are
-// simulated.
+// simulated. SIGINT/SIGTERM triggers exactly that interruption
+// gracefully — in-flight simulations abort at their next window boundary,
+// the pool drains, finished combinations stay persisted, and a resumable
+// state report is printed before exiting 130. A second signal kills the
+// process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,11 +41,13 @@ import (
 	"strings"
 	"time"
 
+	"ebm/internal/cli"
 	"ebm/internal/config"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/obs"
 	"ebm/internal/profile"
+	"ebm/internal/resilience"
 	"ebm/internal/runner"
 	"ebm/internal/search"
 	"ebm/internal/sim"
@@ -49,37 +56,40 @@ import (
 	"ebm/internal/workload"
 )
 
-func main() {
+func main() { cli.Main("sweep", run) }
+
+func run(ctx context.Context) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		wlName  = flag.String("workload", "BLK_TRD", "two-application workload, e.g. BLK_TRD")
-		grids   = flag.String("grids", "ws,ebws", "surfaces to print: ws,fi,hs,ebws,ebfi,it,bw")
-		schemes = flag.String("schemes", "",
+		wlName  = fs.String("workload", "BLK_TRD", "two-application workload, e.g. BLK_TRD")
+		grids   = fs.String("grids", "ws,ebws", "surfaces to print: ws,fi,hs,ebws,ebfi,it,bw")
+		schemes = fs.String("schemes", "",
 			"also run these online schemes at grid length (whitespace-separated canonical "+
 				"scheme strings, e.g. 'dyncta pbs-ws ccws:hivta=0.2'; scheme grammar: "+spec.FlagHelp()+")")
-		cycles   = flag.Uint64("cycles", 120_000, "cycles per combination")
-		warmup   = flag.Uint64("warmup", 20_000, "warmup cycles")
-		cache    = flag.String("cache", "profiles.json", "alone-profile cache (empty disables)")
-		simc     = flag.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent grid simulations (default: all CPUs)")
-		outPath  = flag.String("o", "", "also write the report to this file, e.g. results/blk_trd.txt")
-		listen   = flag.String("listen", "", "serve live sweep-progress metrics on this address, e.g. :8080")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
+		cycles   = fs.Uint64("cycles", 120_000, "cycles per combination")
+		warmup   = fs.Uint64("warmup", 20_000, "warmup cycles")
+		cache    = fs.String("cache", "profiles.json", "alone-profile cache (empty disables)")
+		simc     = fs.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent grid simulations (default: all CPUs)")
+		outPath  = fs.String("o", "", "also write the report to this file, e.g. results/blk_trd.txt")
+		listen   = fs.String("listen", "", "serve live sweep-progress metrics on this address, e.g. :8080")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
-	flag.Parse()
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		if dir := filepath.Dir(*outPath); dir != "." {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return err
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
@@ -102,12 +112,11 @@ func main() {
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -129,69 +138,96 @@ func main() {
 	cfg := config.Default()
 	wl, ok := workload.ByName(*wlName)
 	if !ok || len(wl.Apps) != 2 {
-		fmt.Fprintf(os.Stderr, "sweep: need a two-application workload; apps: %v\n", kernel.Names())
-		os.Exit(2)
+		return cli.Usagef("need a two-application workload; apps: %v", kernel.Names())
 	}
 
 	// The result cache is what makes an interrupted sweep resumable:
 	// every finished combination is persisted as it completes, and a rerun
 	// replays those cells instead of re-simulating them. The pool bounds
-	// execution at -parallel workers.
+	// execution at -parallel workers; closing it waits for in-flight tasks,
+	// which is the orderly drain a SIGINT relies on.
 	var rcache *simcache.Cache
 	if *simc != "" {
 		var err error
 		rcache, err = simcache.Open(*simc)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	pool := runner.New(*parallel)
 	defer pool.Close()
 
-	suite, err := profile.LoadOrProfile(*cache, kernel.All(), profile.Options{
-		Config: cfg, Runner: pool, Cache: rcache,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
-	}
-	names := wl.Names()
-	aloneIPC, _ := suite.AloneIPC(names)
-	aloneEB, _ := suite.AloneEB(names)
-	bestTLPs, _ := suite.BestTLPs(names)
-
 	// Per-combination progress flows through an event journal: a stderr
 	// subscriber narrates it, and -listen mirrors it into live gauges.
+	// Resilience incidents (cancelled runs, cache retries) land in the
+	// same journal and registry.
 	journal := obs.NewJournal()
 	journal.Subscribe(func(e obs.Event) {
-		if e.Kind == obs.EvProgress {
+		switch e.Kind {
+		case obs.EvProgress:
 			fmt.Fprintf(os.Stderr, "sweep: %d/%d combinations (last %s)\n",
 				e.Done, e.Total, e.Label)
+		case obs.EvResilience:
+			fmt.Fprintf(os.Stderr, "sweep: resilience: %s\n", e.Label)
 		}
 	})
 	var doneG, totalG *obs.Gauge
+	var reg *obs.Registry
 	if *listen != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		doneG = reg.Gauge("ebm_sweep_combos_done", "grid combinations simulated so far")
 		totalG = reg.Gauge("ebm_sweep_combos_total", "grid combinations in this sweep")
 		pool.Instrument(reg)
 		rcache.Instrument(reg)
 		srv, err := obs.Serve(*listen, reg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return err
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "sweep: serving metrics on http://%s/metrics\n", srv.Addr)
 	}
+	mon := resilience.NewMonitor(reg, journal)
+	if rcache != nil {
+		rcache.SetResilience(resilience.DefaultPolicy(), mon)
+	}
 
-	g, err := search.BuildGrid(wl.Apps, search.GridOptions{
+	// resumeReport describes the persisted state after an interruption so
+	// the user knows exactly what a rerun will pick up.
+	comboDone, comboTotal := 0, 0
+	resumeReport := func(stage string) {
+		fmt.Fprintf(os.Stderr, "sweep: interrupted during %s: %d/%d grid combinations done\n",
+			stage, comboDone, comboTotal)
+		if rcache != nil {
+			s := rcache.Stats()
+			fmt.Fprintf(os.Stderr,
+				"sweep: %d results persisted to %s this run (%d replayed); rerun the same command to resume — finished combinations replay from the cache\n",
+				s.Writes, *simc, s.Hits)
+		} else {
+			fmt.Fprintln(os.Stderr, "sweep: no -simcache directory: a rerun starts from scratch")
+		}
+	}
+
+	suite, err := profile.LoadOrProfile(ctx, *cache, kernel.All(), profile.Options{
+		Config: cfg, Runner: pool, Cache: rcache, Mon: mon,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			resumeReport("profiling")
+		}
+		return err
+	}
+	names := wl.Names()
+	aloneIPC, _ := suite.AloneIPC(names)
+	aloneEB, _ := suite.AloneEB(names)
+	bestTLPs, _ := suite.BestTLPs(names)
+
+	g, err := search.BuildGrid(ctx, wl.Apps, search.GridOptions{
 		Config: cfg, TotalCycles: *cycles, WarmupCycles: *warmup,
 		Parallelism: *parallel,
 		Runner:      pool,
 		Cache:       rcache,
 		Progress: func(done, total int, combo []int) {
+			comboDone, comboTotal = done, total
 			totalG.Set(float64(total))
 			doneG.Set(float64(done))
 			journal.Record(obs.Event{
@@ -201,8 +237,10 @@ func main() {
 		},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		if ctx.Err() != nil {
+			resumeReport("grid build")
+		}
+		return err
 	}
 	sims = len(g.Results)
 	if rcache != nil {
@@ -243,8 +281,7 @@ func main() {
 			for _, t1 := range g.Levels {
 				r, err := g.At([]int{t0, t1})
 				if err != nil {
-					fmt.Fprintln(os.Stderr, "sweep:", err)
-					os.Exit(1)
+					return err
 				}
 				fmt.Fprintf(out, "%8.3f", s.eval(r))
 			}
@@ -255,19 +292,23 @@ func main() {
 	wsEval := surfaces["ws"].eval
 	fiEval := surfaces["fi"].eval
 	hsEval := surfaces["hs"].eval
-	report := func(label string, combo []int) {
+	report := func(label string, combo []int) error {
 		r, err := g.At(combo)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Fprintf(out, "%-16s combo=%-9v WS=%.3f FI=%.3f HS=%.3f\n",
 			label, combo, wsEval(r), fiEval(r), hsEval(r))
+		return nil
 	}
 
 	fmt.Fprintln(out)
-	report("++bestTLP", bestTLPs)
-	report("++maxTLP", []int{config.MaxTLP, config.MaxTLP})
+	if err := report("++bestTLP", bestTLPs); err != nil {
+		return err
+	}
+	if err := report("++maxTLP", []int{config.MaxTLP, config.MaxTLP}); err != nil {
+		return err
+	}
 	for _, x := range []struct {
 		label string
 		eval  search.Eval
@@ -278,14 +319,22 @@ func main() {
 		{"maxIT", surfaces["it"].eval},
 	} {
 		c, _ := g.Best(x.eval)
-		report(x.label, c)
+		if err := report(x.label, c); err != nil {
+			return err
+		}
 	}
 	cw, _ := g.PBSOffline(surfaces["ebws"].eval, nil)
-	report("PBS-WS(Offline)", cw)
+	if err := report("PBS-WS(Offline)", cw); err != nil {
+		return err
+	}
 	cf, _ := g.PBSOfflineFI(aloneEB, nil)
-	report("PBS-FI(Offline)", cf)
+	if err := report("PBS-FI(Offline)", cf); err != nil {
+		return err
+	}
 	ch, _ := g.PBSOffline(search.EBEval(metrics.ObjHS, aloneEB), nil)
-	report("PBS-HS(Offline)", ch)
+	if err := report("PBS-HS(Offline)", ch); err != nil {
+		return err
+	}
 
 	// -schemes: online comparison points next to the grid searches, run at
 	// the same per-combination length through the same cache and pool.
@@ -294,8 +343,7 @@ func main() {
 	for _, ss := range strings.Fields(*schemes) {
 		sch, err := spec.ParseScheme(ss)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(2)
+			return cli.Usagef("%v", err)
 		}
 		if sch.Kind == spec.KindBestTLP && len(sch.Static.TLPs) == 0 {
 			sch = spec.BestTLP(bestTLPs) // resolve from the alone profiles
@@ -304,7 +352,7 @@ func main() {
 		if sch.Kind == spec.KindCCWS {
 			victimTags = 1024 // the lost-locality detector needs victim tags
 		}
-		r, err := simcache.RunCached(rcache, pool, runner.PriEval, spec.RunSpec{
+		r, err := simcache.RunCached(ctx, rcache, pool, runner.PriEval, spec.RunSpec{
 			Config:             cfg,
 			Apps:               wl.Apps,
 			Scheme:             sch,
@@ -315,13 +363,14 @@ func main() {
 			VictimTags:         victimTags,
 		}, nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			if ctx.Err() != nil {
+				resumeReport("scheme " + sch.String())
+			}
+			return err
 		}
 		sd, err := metrics.Slowdowns(r.IPCs(), aloneIPC)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			return err
 		}
 		final := make([]int, len(r.Apps))
 		for i, a := range r.Apps {
@@ -330,4 +379,5 @@ func main() {
 		fmt.Fprintf(out, "%-16s final=%-9v WS=%.3f FI=%.3f HS=%.3f\n",
 			sch.String(), final, metrics.WS(sd), metrics.FI(sd), metrics.HS(sd))
 	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package ebm
 
 import (
+	"context"
+
 	"ebm/internal/config"
 	pbscore "ebm/internal/core"
 	"ebm/internal/kernel"
@@ -110,13 +112,22 @@ func NewManager(s SchemeSpec, numApps int) (Manager, error) {
 }
 
 // ExecuteSpec runs a declarative run description to completion.
-func ExecuteSpec(rs RunSpec) (Result, error) { return sim.Execute(rs) }
+func ExecuteSpec(rs RunSpec) (Result, error) {
+	return sim.Execute(context.Background(), rs)
+}
+
+// ExecuteSpecContext is ExecuteSpec under a cancellation context: the run
+// aborts cooperatively at the next sampling-window boundary and returns
+// ctx.Err() with a zero Result.
+func ExecuteSpecContext(ctx context.Context, rs RunSpec) (Result, error) {
+	return sim.Execute(ctx, rs)
+}
 
 // ExecuteSpecCached is ExecuteSpec through an optional result cache (nil
 // skips caching) and the shared executor: equivalent requests
 // deduplicate and replay bit-identically from disk.
 func ExecuteSpecCached(cache *SimCache, rs RunSpec) (Result, error) {
-	return simcache.RunCached(cache, nil, 0, rs, nil)
+	return simcache.RunCached(context.Background(), cache, nil, 0, rs, nil)
 }
 
 // NewStaticManager runs a fixed TLP combination (e.g. ++bestTLP). The
@@ -212,12 +223,12 @@ type ProfileSuite = profile.Suite
 // Profile profiles every application alone across all TLP levels,
 // producing bestTLP, IPC@bestTLP, EB@bestTLP, and the G1..G4 groups.
 func Profile(apps []App, opts ProfileOptions) (*ProfileSuite, error) {
-	return profile.ProfileSuite(apps, opts)
+	return profile.ProfileSuite(context.Background(), apps, opts)
 }
 
 // ProfileCached is Profile with a JSON cache at path ("" disables).
 func ProfileCached(path string, apps []App, opts ProfileOptions) (*ProfileSuite, error) {
-	return profile.LoadOrProfile(path, apps, opts)
+	return profile.LoadOrProfile(context.Background(), path, apps, opts)
 }
 
 // Grid holds one Result per TLP combination of a workload, powering the
@@ -230,7 +241,7 @@ type GridOptions = search.GridOptions
 
 // BuildGrid simulates a workload under every TLP combination.
 func BuildGrid(apps []App, opts GridOptions) (*Grid, error) {
-	return search.BuildGrid(apps, opts)
+	return search.BuildGrid(context.Background(), apps, opts)
 }
 
 // Eval scores one grid cell; see SDEval, EBEval, ITEval.

@@ -1,0 +1,105 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{flag.ErrHelp, ExitOK},
+		{errors.New("boom"), ExitError},
+		{fmt.Errorf("wrapped: %w", errors.New("boom")), ExitError},
+		{Usagef("bad flag"), ExitUsage},
+		{fmt.Errorf("outer: %w", Usagef("bad flag")), ExitUsage},
+		{context.Canceled, ExitInterrupted},
+		{context.DeadlineExceeded, ExitInterrupted},
+		{fmt.Errorf("interrupted after 3/64: %w", context.Canceled), ExitInterrupted},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestUsagefMarksAndFormats(t *testing.T) {
+	err := Usagef("unknown workload %q", "X_Y")
+	if !IsUsage(err) {
+		t.Fatal("Usagef error not recognized by IsUsage")
+	}
+	if want := `unknown workload "X_Y"`; err.Error() != want {
+		t.Fatalf("message %q, want %q", err.Error(), want)
+	}
+	if IsUsage(errors.New("plain")) {
+		t.Fatal("plain error classified as usage")
+	}
+}
+
+func TestRunPrintsErrorAndReturnsCode(t *testing.T) {
+	var buf strings.Builder
+	code := Run("toolname", &buf, func(ctx context.Context) error {
+		return errors.New("broke")
+	})
+	if code != ExitError {
+		t.Fatalf("code = %d, want %d", code, ExitError)
+	}
+	if got := buf.String(); got != "toolname: broke\n" {
+		t.Fatalf("stderr = %q", got)
+	}
+}
+
+func TestRunHelpIsSilentSuccess(t *testing.T) {
+	var buf strings.Builder
+	if code := Run("t", &buf, func(context.Context) error { return flag.ErrHelp }); code != ExitOK {
+		t.Fatalf("code = %d, want 0", code)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("help produced stderr output: %q", buf.String())
+	}
+}
+
+// TestRunSIGINTCancelsAndExits130 sends this process a real SIGINT while
+// fn blocks on the context — the full signal path the binaries rely on.
+func TestRunSIGINTCancelsAndExits130(t *testing.T) {
+	var buf strings.Builder
+	started := make(chan struct{})
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- Run("t", &buf, func(ctx context.Context) error {
+			close(started)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return errors.New("signal never cancelled the context")
+			}
+		})
+	}()
+	<-started
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-codeCh:
+		if code != ExitInterrupted {
+			t.Fatalf("code = %d, want %d (stderr: %q)", code, ExitInterrupted, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after SIGINT")
+	}
+	if !strings.Contains(buf.String(), "interrupted") {
+		t.Fatalf("stderr %q does not mention the interruption", buf.String())
+	}
+}

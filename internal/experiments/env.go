@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -87,6 +88,12 @@ type Env struct {
 	Opt   Options
 	Suite *profile.Suite
 
+	// ctx is the lifecycle of every simulation the environment submits:
+	// experiment Run functions inherit it implicitly (keeping the
+	// Experiment signature stable) and a cancel aborts grids, evals, and
+	// profiles cooperatively. Set by NewEnv; never nil.
+	ctx context.Context
+
 	cache *simcache.Cache
 	pool  *runner.Runner // nil = runner.Default() at submission time
 	sf    runner.Group   // collapses duplicate grid builds / evals
@@ -97,9 +104,14 @@ type Env struct {
 }
 
 // NewEnv profiles the full application suite (or loads the cache) and
-// returns a ready environment.
-func NewEnv(opt Options) (*Env, error) {
+// returns a ready environment. ctx governs the initial profiling and
+// every simulation later submitted through the environment; nil means
+// context.Background().
+func NewEnv(ctx context.Context, opt Options) (*Env, error) {
 	opt.fillDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var cache *simcache.Cache
 	if opt.SimCache != "" {
 		var err error
@@ -108,7 +120,7 @@ func NewEnv(opt Options) (*Env, error) {
 			return nil, err
 		}
 	}
-	suite, err := profile.LoadOrProfile(opt.ProfileCache, kernel.All(), profile.Options{
+	suite, err := profile.LoadOrProfile(ctx, opt.ProfileCache, kernel.All(), profile.Options{
 		Config:       opt.Config,
 		TotalCycles:  opt.GridCycles,
 		WarmupCycles: opt.GridWarmup,
@@ -122,12 +134,16 @@ func NewEnv(opt Options) (*Env, error) {
 	return &Env{
 		Opt:       opt,
 		Suite:     suite,
+		ctx:       ctx,
 		cache:     cache,
 		pool:      opt.Runner,
 		grids:     map[string]*search.Grid{},
 		evalCache: map[string]*Eval{},
 	}, nil
 }
+
+// Context returns the environment's lifecycle context.
+func (e *Env) Context() context.Context { return e.ctx }
 
 // Cache returns the environment's result cache (nil when -simcache is
 // off), e.g. for hit/miss reporting and obs instrumentation.
@@ -155,7 +171,7 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 		if ok {
 			return g, nil
 		}
-		g, err := buildGrid(w.Apps, search.GridOptions{
+		g, err := buildGrid(e.ctx, w.Apps, search.GridOptions{
 			Config:       e.Opt.Config,
 			TotalCycles:  e.Opt.GridCycles,
 			WarmupCycles: e.Opt.GridWarmup,
@@ -183,7 +199,7 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 // per-window hooks (uncacheable by construction) assemble sim.Options
 // directly instead.
 func (e *Env) Run(rs spec.RunSpec) (sim.Result, error) {
-	return simcache.RunCached(e.cache, e.pool, runner.PriEval, rs, nil)
+	return simcache.RunCached(e.ctx, e.cache, e.pool, runner.PriEval, rs, nil)
 }
 
 // EvalSpec is the evaluation-length run description for a workload under

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -23,10 +24,10 @@ func TestGridSingleflightUnderConcurrency(t *testing.T) {
 	defer func() { buildGrid = old }()
 	var builds atomic.Int64
 	gate := make(chan struct{})
-	buildGrid = func(apps []kernel.Params, opts search.GridOptions) (*search.Grid, error) {
+	buildGrid = func(ctx context.Context, apps []kernel.Params, opts search.GridOptions) (*search.Grid, error) {
 		builds.Add(1)
 		<-gate
-		return old(apps, opts)
+		return old(ctx, apps, opts)
 	}
 
 	env := testEnv(t)
@@ -83,7 +84,7 @@ func TestEnvWarmSimCacheBitIdentical(t *testing.T) {
 		cfg := config.Default()
 		cfg.NumCores = 4
 		cfg.NumMemPartitions = 4
-		env, err := NewEnv(Options{
+		env, err := NewEnv(nil, Options{
 			Config:       cfg,
 			GridCycles:   8_000,
 			GridWarmup:   1_000,

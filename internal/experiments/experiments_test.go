@@ -18,7 +18,7 @@ func testEnv(t *testing.T) *Env {
 	cfg := config.Default()
 	cfg.NumCores = 4
 	cfg.NumMemPartitions = 4
-	env, err := NewEnv(Options{
+	env, err := NewEnv(nil, Options{
 		Config:       cfg,
 		GridCycles:   8_000,
 		GridWarmup:   1_000,

@@ -138,7 +138,7 @@ func extraRefresh(e *Env, w io.Writer) error {
 		cfg.NumCores = cfg.NumCores / 2
 		cfg.Timing.TREFI = variant.trefi
 		cfg.Timing.TRFC = variant.trfc
-		res, err := profile.AloneRun(trd, 8, profile.Options{
+		res, err := profile.AloneRun(e.ctx, trd, 8, profile.Options{
 			Config:       cfg,
 			CoresAlone:   cfg.NumCores,
 			TotalCycles:  e.Opt.GridCycles,

@@ -38,7 +38,7 @@ func Fig1(e *Env, w io.Writer) error {
 func Fig2(e *Env, w io.Writer) error {
 	header(w, "Fig. 2: effect of TLP on IPC, BW, CMR, EB for BFS alone (normalized to bestTLP)")
 	app, _ := kernel.ByName("BFS")
-	p, err := profile.ProfileApp(app, profile.Options{
+	p, err := profile.ProfileApp(e.ctx, app, profile.Options{
 		Config:       e.Opt.Config,
 		TotalCycles:  e.Opt.GridCycles,
 		WarmupCycles: e.Opt.GridWarmup,
@@ -70,7 +70,7 @@ func Fig2(e *Env, w io.Writer) error {
 func Fig3(e *Env, w io.Writer) error {
 	header(w, "Fig. 3: effective bandwidth at different levels of the hierarchy (BFS alone)")
 	app, _ := kernel.ByName("BFS")
-	res, err := profile.AloneRun(app, 4, profile.Options{
+	res, err := profile.AloneRun(e.ctx, app, 4, profile.Options{
 		Config:       e.Opt.Config,
 		TotalCycles:  e.Opt.GridCycles,
 		WarmupCycles: e.Opt.GridWarmup,

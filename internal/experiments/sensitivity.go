@@ -129,7 +129,7 @@ func ThreeApp(e *Env, w io.Writer) error {
 				out[i] = v
 				continue
 			}
-			r, err := profile.AloneRun(app, bestTLPs[i], profile.Options{
+			r, err := profile.AloneRun(e.ctx, app, bestTLPs[i], profile.Options{
 				Config:       cfg,
 				CoresAlone:   cfg.NumCores / 3,
 				TotalCycles:  e.Opt.GridCycles,

@@ -31,6 +31,9 @@ const (
 	// EvProgress is generic long-job progress (grid sweeps): Done of
 	// Total work items finished; Label is a human-readable line.
 	EvProgress
+	// EvResilience records a resilience-layer incident — a cancelled run,
+	// a retried cache write, a watchdog trip; Label carries the detail.
+	EvResilience
 )
 
 // String names the kind for CSV/debug output.
@@ -50,6 +53,8 @@ func (k EventKind) String() string {
 		return "kernel"
 	case EvProgress:
 		return "progress"
+	case EvResilience:
+		return "resilience"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -78,9 +79,10 @@ var Warnf = func(format string, args ...any) {
 
 // LoadOrProfile returns the cached suite at path when valid, otherwise
 // profiles the applications and (best effort) refreshes the cache. A
-// failed cache save is a warning, never an error: the freshly profiled
-// suite is perfectly good, the next run just profiles again.
-func LoadOrProfile(path string, apps []kernel.Params, opts Options) (*Suite, error) {
+// failed cache save is retried per opts.Retry and then demoted to a
+// warning, never an error: the freshly profiled suite is perfectly good,
+// the next run just profiles again.
+func LoadOrProfile(ctx context.Context, path string, apps []kernel.Params, opts Options) (*Suite, error) {
 	opts.fillDefaults()
 	fp := Fingerprint(opts, apps)
 	if path != "" {
@@ -88,12 +90,15 @@ func LoadOrProfile(path string, apps []kernel.Params, opts Options) (*Suite, err
 			return s, nil
 		}
 	}
-	s, err := ProfileSuite(apps, opts)
+	s, err := ProfileSuite(ctx, apps, opts)
 	if err != nil {
 		return nil, err
 	}
 	if path != "" {
-		if err := s.Save(path, fp); err != nil {
+		err := opts.Retry.Retry(ctx, "profile-cache:"+path, opts.Mon, func() error {
+			return s.Save(path, fp)
+		})
+		if err != nil {
 			Warnf("profile: warning: suite ready but cache not saved: %v", err)
 		}
 	}

@@ -81,7 +81,7 @@ func TestLoadOrProfileSaveFailureIsWarning(t *testing.T) {
 
 	// A path whose parent directory does not exist makes Save fail.
 	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "profiles.json")
-	s, err := LoadOrProfile(bad, someApps("BLK"), smallOpts())
+	s, err := LoadOrProfile(nil, bad, someApps("BLK"), smallOpts())
 	if err != nil {
 		t.Fatalf("save failure escalated to error: %v", err)
 	}
@@ -103,7 +103,7 @@ func TestProfileSuiteWarmCache(t *testing.T) {
 	opts := smallOpts()
 	opts.Cache = c
 	apps := someApps("BLK", "JPEG")
-	cold, err := ProfileSuite(apps, opts)
+	cold, err := ProfileSuite(nil, apps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestProfileSuiteWarmCache(t *testing.T) {
 		t.Fatal("no results persisted")
 	}
 	before := c.Stats()
-	warm, err := ProfileSuite(apps, opts)
+	warm, err := ProfileSuite(nil, apps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

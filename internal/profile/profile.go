@@ -8,6 +8,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -15,6 +16,7 @@ import (
 
 	"ebm/internal/config"
 	"ebm/internal/kernel"
+	"ebm/internal/resilience"
 	"ebm/internal/runner"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
@@ -40,6 +42,11 @@ type Options struct {
 	// Cache, when non-nil, serves alone-runs from the on-disk result
 	// cache and persists fresh ones.
 	Cache *simcache.Cache
+	// Retry is the backoff policy for suite-cache saves (zero value =
+	// resilience.DefaultPolicy); Mon receives retry incidents (nil
+	// discards them).
+	Retry resilience.Policy
+	Mon   *resilience.Monitor
 }
 
 func (o *Options) fillDefaults() {
@@ -91,7 +98,7 @@ func (p *AppProfile) AtTLP(tlp int) (LevelResult, bool) {
 // and, when opts.Cache is set, the on-disk result cache. The "alone@N"
 // label is display-only: the cache key canonicalizes it away, so an
 // alone run and an identically shaped static run share one entry.
-func AloneRun(app kernel.Params, tlpLevel int, opts Options) (sim.Result, error) {
+func AloneRun(ctx context.Context, app kernel.Params, tlpLevel int, opts Options) (sim.Result, error) {
 	opts.fillDefaults()
 	cfg := opts.Config
 	cfg.NumCores = opts.CoresAlone
@@ -102,7 +109,7 @@ func AloneRun(app kernel.Params, tlpLevel int, opts Options) (sim.Result, error)
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
 	}
-	return simcache.RunCached(opts.Cache, opts.Runner, runner.PriProfile, rs, nil)
+	return simcache.RunCached(ctx, opts.Cache, opts.Runner, runner.PriProfile, rs, nil)
 }
 
 // pickBest selects the level with the highest alone IPC.
@@ -120,8 +127,11 @@ func (p *AppProfile) pickBest() {
 
 // ProfileApp sweeps one application across every TLP level alone, with the
 // levels in flight concurrently (bounded by opts.Parallelism).
-func ProfileApp(app kernel.Params, opts Options) (*AppProfile, error) {
+func ProfileApp(ctx context.Context, app kernel.Params, opts Options) (*AppProfile, error) {
 	opts.fillDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := &AppProfile{Name: app.Name, Levels: make([]LevelResult, len(opts.Levels))}
 	var (
 		wg sync.WaitGroup
@@ -130,13 +140,16 @@ func ProfileApp(app kernel.Params, opts Options) (*AppProfile, error) {
 	)
 	sem := make(chan struct{}, opts.Parallelism)
 	for i, lvl := range opts.Levels {
+		if ctx.Err() != nil {
+			break // stop launching; in-flight runs abort at their next window
+		}
 		i, lvl := i, lvl
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := AloneRun(app, lvl, opts)
+			res, err := AloneRun(ctx, app, lvl, opts)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -151,6 +164,9 @@ func ProfileApp(app kernel.Params, opts Options) (*AppProfile, error) {
 	wg.Wait()
 	if ec != nil {
 		return nil, ec
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	p.pickBest()
 	return p, nil
@@ -168,8 +184,11 @@ type Suite struct {
 // quartile. The (app, level) grid fans out flat — every alone-run is an
 // independent leaf task on the shared pool — with opts.Parallelism
 // bounding how many this call keeps in flight.
-func ProfileSuite(apps []kernel.Params, opts Options) (*Suite, error) {
+func ProfileSuite(ctx context.Context, apps []kernel.Params, opts Options) (*Suite, error) {
 	opts.fillDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &Suite{Profiles: make(map[string]*AppProfile, len(apps))}
 
 	profiles := make([]*AppProfile, len(apps))
@@ -182,15 +201,19 @@ func ProfileSuite(apps []kernel.Params, opts Options) (*Suite, error) {
 		ec error
 	)
 	sem := make(chan struct{}, opts.Parallelism)
+launch:
 	for ai, app := range apps {
 		for li, lvl := range opts.Levels {
+			if ctx.Err() != nil {
+				break launch // stop launching; in-flight runs abort cooperatively
+			}
 			ai, app, li, lvl := ai, app, li, lvl
 			wg.Add(1)
 			sem <- struct{}{}
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				res, err := AloneRun(app, lvl, opts)
+				res, err := AloneRun(ctx, app, lvl, opts)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -206,6 +229,9 @@ func ProfileSuite(apps []kernel.Params, opts Options) (*Suite, error) {
 	wg.Wait()
 	if ec != nil {
 		return nil, ec
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for _, p := range profiles {
 		p.pickBest()

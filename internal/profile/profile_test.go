@@ -35,7 +35,7 @@ func someApps(names ...string) []kernel.Params {
 
 func TestProfileAppFindsBest(t *testing.T) {
 	app, _ := kernel.ByName("JPEG")
-	p, err := ProfileApp(app, smallOpts())
+	p, err := ProfileApp(nil, app, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestProfileAppFindsBest(t *testing.T) {
 }
 
 func TestProfileSuiteGroups(t *testing.T) {
-	suite, err := ProfileSuite(someApps("BLK", "TRD", "JPEG", "GUPS"), smallOpts())
+	suite, err := ProfileSuite(nil, someApps("BLK", "TRD", "JPEG", "GUPS"), smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestProfileSuiteGroups(t *testing.T) {
 }
 
 func TestSuiteAccessors(t *testing.T) {
-	suite, err := ProfileSuite(someApps("BLK", "TRD"), smallOpts())
+	suite, err := ProfileSuite(nil, someApps("BLK", "TRD"), smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,14 +120,14 @@ func TestCacheRoundTrip(t *testing.T) {
 	opts := smallOpts()
 	apps := someApps("BLK", "TRD")
 
-	s1, err := LoadOrProfile(path, apps, opts)
+	s1, err := LoadOrProfile(nil, path, apps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("cache not written: %v", err)
 	}
-	s2, err := LoadOrProfile(path, apps, opts)
+	s2, err := LoadOrProfile(nil, path, apps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestCacheInvalidatedByConfigChange(t *testing.T) {
 	path := filepath.Join(dir, "profiles.json")
 	apps := someApps("BLK")
 	opts := smallOpts()
-	if _, err := LoadOrProfile(path, apps, opts); err != nil {
+	if _, err := LoadOrProfile(nil, path, apps, opts); err != nil {
 		t.Fatal(err)
 	}
 	fp1 := Fingerprint(opts, apps)
@@ -183,7 +183,7 @@ func TestLoadCorruptFile(t *testing.T) {
 func TestAloneRunUsesReducedCores(t *testing.T) {
 	app, _ := kernel.ByName("JPEG")
 	opts := smallOpts()
-	res, err := AloneRun(app, 24, opts)
+	res, err := AloneRun(nil, app, 24, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,13 +21,21 @@ package runner
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"ebm/internal/faultinject"
 	"ebm/internal/obs"
 )
+
+// ErrClosed is returned by Do once Close has been called: a shut-down
+// pool refuses new work instead of running it inline, so orchestrators
+// cannot accidentally keep executing past shutdown.
+var ErrClosed = errors.New("runner: pool closed")
 
 // Task priorities. Higher runs first; FIFO within a priority.
 const (
@@ -54,6 +62,7 @@ type call struct {
 
 // item is one queued task.
 type item struct {
+	ctx context.Context
 	pri int
 	seq uint64 // FIFO tiebreak within a priority
 	key string
@@ -92,6 +101,11 @@ type Runner struct {
 	seq      uint64
 	closed   bool
 	workers  int
+	active   int // tasks currently executing (Close waits on this)
+
+	// hooks is the fault-injection seam (nil in production); TaskStart
+	// runs inside the panic-recovery region of every pooled task.
+	hooks faultinject.Hooks
 
 	ran     atomic.Uint64
 	deduped atomic.Uint64
@@ -138,37 +152,76 @@ func (r *Runner) Workers() int {
 	return r.workers
 }
 
-// Close stops the workers once the queue drains to idle waiters. Pending
-// Do calls already queued still complete; Close is intended for
-// test-local pools (the Default pool lives for the process).
+// Close shuts the pool down and waits: queued tasks still run (their Do
+// callers are already committed to the results), in-flight tasks finish,
+// and only then does Close return, so a closed pool has no work left in
+// the air. Do calls arriving after Close return ErrClosed. Close is
+// intended for test-local pools (the Default pool lives for the
+// process).
 func (r *Runner) Close() {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	r.closed = true
 	r.cond.Broadcast()
+	for len(r.queue) > 0 || r.active > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// SetHooks installs the fault-injection seam (chaos tests, ebsim
+// -chaos). Call before submitting work; nil (the default) is the
+// zero-cost production configuration.
+func (r *Runner) SetHooks(h faultinject.Hooks) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = h
 	r.mu.Unlock()
 }
 
 // Do submits fn at the given priority and blocks until it (or the
-// in-flight execution it deduplicates onto) completes. A non-empty key
-// enables singleflight: if a task with the same key is queued or running,
-// the caller attaches to that execution and shares its result. An empty
-// key always executes. A nil Runner executes fn inline.
-func (r *Runner) Do(key string, pri int, fn Task) (any, error) {
+// in-flight execution it deduplicates onto) completes, or ctx is
+// cancelled — cancellation abandons the wait with ctx.Err(); a queued
+// task whose context is already cancelled is skipped, never run, which
+// is what lets a shutdown drain the queue in bounded time. A non-empty
+// key enables singleflight: if a task with the same key is queued or
+// running, the caller attaches to that execution and shares its result.
+// An empty key always executes. A nil Runner executes fn inline; a
+// closed Runner returns ErrClosed. A nil ctx means context.Background().
+func (r *Runner) Do(ctx context.Context, key string, pri int, fn Task) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if r == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return fn()
 	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return fn()
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		r.mu.Unlock()
+		return nil, err
 	}
 	if key != "" {
 		if c, ok := r.inflight[key]; ok {
 			r.mu.Unlock()
 			r.deduped.Add(1)
 			r.dedupC.Inc()
-			<-c.done
-			return c.val, c.err
+			select {
+			case <-c.done:
+				return c.val, c.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 	}
 	c := &call{done: make(chan struct{})}
@@ -176,12 +229,18 @@ func (r *Runner) Do(key string, pri int, fn Task) (any, error) {
 		r.inflight[key] = c
 	}
 	r.seq++
-	heap.Push(&r.queue, &item{pri: pri, seq: r.seq, key: key, fn: fn, c: c})
+	heap.Push(&r.queue, &item{ctx: ctx, pri: pri, seq: r.seq, key: key, fn: fn, c: c})
 	r.queueDepth.Set(float64(r.queue.Len()))
 	r.cond.Signal()
 	r.mu.Unlock()
-	<-c.done
-	return c.val, c.err
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		// The task may still run (other dedup waiters could be attached);
+		// this caller just stops waiting for it.
+		return nil, ctx.Err()
+	}
 }
 
 func (r *Runner) worker() {
@@ -195,18 +254,32 @@ func (r *Runner) worker() {
 			return
 		}
 		it := heap.Pop(&r.queue).(*item)
+		r.active++
+		hooks := r.hooks
 		r.queueDepth.Set(float64(r.queue.Len()))
 		r.mu.Unlock()
 
-		it.c.val, it.c.err = runSafe(it.fn)
+		skipped := false
+		if err := it.ctx.Err(); err != nil {
+			// Submitted before the cancel, popped after: complete the call
+			// without running so a shutdown drains instead of simulating.
+			it.c.err = err
+			skipped = true
+		} else {
+			it.c.val, it.c.err = runHooked(hooks, it.key, it.fn)
+			r.ran.Add(1)
+		}
 
 		r.mu.Lock()
 		if it.key != "" {
 			delete(r.inflight, it.key)
 		}
-		r.runsC.Inc()
+		r.active--
+		if !skipped {
+			r.runsC.Inc()
+		}
+		r.cond.Broadcast() // wake Close waiters and idle workers
 		r.mu.Unlock()
-		r.ran.Add(1)
 		close(it.c.done)
 	}
 }
@@ -214,11 +287,21 @@ func (r *Runner) worker() {
 // runSafe converts a task panic into an error so one bad simulation does
 // not take down every orchestrator sharing the pool.
 func runSafe(fn Task) (v any, err error) {
+	return runHooked(nil, "", fn)
+}
+
+// runHooked is runSafe with the fault-injection seam: TaskStart runs
+// inside the recovery region, so an injected panic surfaces as the same
+// task error a real crash would.
+func runHooked(hooks faultinject.Hooks, label string, fn Task) (v any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("runner: task panic: %v", p)
 		}
 	}()
+	if hooks != nil {
+		hooks.TaskStart(label)
+	}
 	return fn()
 }
 

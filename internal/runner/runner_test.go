@@ -13,11 +13,11 @@ import (
 func TestDoReturnsValue(t *testing.T) {
 	r := New(2)
 	defer r.Close()
-	v, err := r.Do("", PriGrid, func() (any, error) { return 42, nil })
+	v, err := r.Do(nil, "", PriGrid, func() (any, error) { return 42, nil })
 	if err != nil || v.(int) != 42 {
 		t.Fatalf("Do = %v, %v", v, err)
 	}
-	_, err = r.Do("", PriGrid, func() (any, error) { return nil, fmt.Errorf("boom") })
+	_, err = r.Do(nil, "", PriGrid, func() (any, error) { return nil, fmt.Errorf("boom") })
 	if err == nil || err.Error() != "boom" {
 		t.Fatalf("error not propagated: %v", err)
 	}
@@ -33,7 +33,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r.Do("", PriGrid, func() (any, error) {
+			r.Do(nil, "", PriGrid, func() (any, error) {
 				n := cur.Add(1)
 				for {
 					p := peak.Load()
@@ -63,7 +63,7 @@ func TestPriorityOrder(t *testing.T) {
 	defer r.Close()
 	gate := make(chan struct{})
 	started := make(chan struct{})
-	go r.Do("", PriGrid, func() (any, error) {
+	go r.Do(nil, "", PriGrid, func() (any, error) {
 		close(started)
 		<-gate
 		return nil, nil
@@ -78,7 +78,7 @@ func TestPriorityOrder(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r.Do("", pri, func() (any, error) {
+			r.Do(nil, "", pri, func() (any, error) {
 				mu.Lock()
 				order = append(order, label)
 				mu.Unlock()
@@ -124,7 +124,7 @@ func TestSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := r.Do("same-key", PriEval, func() (any, error) {
+			v, err := r.Do(nil, "same-key", PriEval, func() (any, error) {
 				execs.Add(1)
 				<-gate
 				return "shared", nil
@@ -155,7 +155,7 @@ func TestSingleflightDedup(t *testing.T) {
 	}
 	// The key is forgotten after completion: a later identical submission
 	// executes again.
-	if _, err := r.Do("same-key", PriEval, func() (any, error) {
+	if _, err := r.Do(nil, "same-key", PriEval, func() (any, error) {
 		execs.Add(1)
 		return nil, nil
 	}); err != nil {
@@ -169,7 +169,7 @@ func TestSingleflightDedup(t *testing.T) {
 func TestTaskPanicBecomesError(t *testing.T) {
 	r := New(1)
 	defer r.Close()
-	_, err := r.Do("", PriGrid, func() (any, error) { panic("kaboom") })
+	_, err := r.Do(nil, "", PriGrid, func() (any, error) { panic("kaboom") })
 	if err == nil {
 		t.Fatal("panic not converted to error")
 	}
@@ -177,7 +177,7 @@ func TestTaskPanicBecomesError(t *testing.T) {
 
 func TestNilRunnerRunsInline(t *testing.T) {
 	var r *Runner
-	v, err := r.Do("k", PriEval, func() (any, error) { return 7, nil })
+	v, err := r.Do(nil, "k", PriEval, func() (any, error) { return 7, nil })
 	if err != nil || v.(int) != 7 {
 		t.Fatalf("nil runner Do = %v, %v", v, err)
 	}
@@ -197,7 +197,7 @@ func TestInstrument(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r.Do("dup", PriEval, func() (any, error) {
+			r.Do(nil, "dup", PriEval, func() (any, error) {
 				time.Sleep(2 * time.Millisecond)
 				return nil, nil
 			})

@@ -1,0 +1,237 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoAfterCloseReturnsErrClosed(t *testing.T) {
+	r := New(1)
+	r.Close()
+	_, err := r.Do(nil, "", PriGrid, func() (any, error) {
+		t.Error("task ran on a closed pool")
+		return nil, nil
+	})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseWaitsForInFlightTasks(t *testing.T) {
+	r := New(2)
+	var running, finished atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Do(nil, "", PriGrid, func() (any, error) {
+				running.Add(1)
+				<-release
+				finished.Add(1)
+				return nil, nil
+			})
+		}()
+	}
+	for running.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	closed := make(chan struct{})
+	go func() {
+		r.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while tasks were still executing")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after tasks finished")
+	}
+	if finished.Load() != 2 {
+		t.Fatalf("%d tasks finished before Close returned, want 2", finished.Load())
+	}
+	wg.Wait()
+}
+
+// TestConcurrentCloseAndDo is the regression test for the shutdown race:
+// every Do must either run its task to completion before Close returns,
+// or fail with ErrClosed — never run after, never hang, never run inline
+// on a closed pool.
+func TestConcurrentCloseAndDo(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		r := New(2)
+		var ran atomic.Int32
+		const callers = 8
+		var wg sync.WaitGroup
+		errs := make([]error, callers)
+		for i := 0; i < callers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, errs[i] = r.Do(nil, "", PriGrid, func() (any, error) {
+					ran.Add(1)
+					return nil, nil
+				})
+			}()
+		}
+		closeDone := make(chan struct{})
+		go func() {
+			r.Close()
+			close(closeDone)
+		}()
+		wg.Wait()
+		select {
+		case <-closeDone:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close hung against concurrent Do")
+		}
+		ranAtClose := ran.Load()
+		okCalls := int32(0)
+		for _, err := range errs {
+			switch {
+			case err == nil:
+				okCalls++
+			case errors.Is(err, ErrClosed):
+			default:
+				t.Fatalf("unexpected Do error: %v", err)
+			}
+		}
+		if okCalls != ranAtClose {
+			t.Fatalf("%d Do calls succeeded but %d tasks ran", okCalls, ranAtClose)
+		}
+		if got := ran.Load(); got != ranAtClose {
+			t.Fatalf("task ran after Close returned (%d -> %d)", ranAtClose, got)
+		}
+	}
+}
+
+func TestDoWithCancelledContextNeverRuns(t *testing.T) {
+	r := New(1)
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.Do(ctx, "", PriGrid, func() (any, error) {
+		t.Error("task ran under a pre-cancelled context")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCancelAbandonsWaitWhileTaskKeepsResultForOthers(t *testing.T) {
+	r := New(1)
+	defer r.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	// First caller holds the only worker.
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		r.Do(nil, "slow", PriEval, func() (any, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+	}()
+	<-started
+
+	// Second caller attaches to the same key, then cancels its wait.
+	ctx, cancel := context.WithCancel(context.Background())
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := r.Do(ctx, "slow", PriEval, func() (any, error) { return nil, nil })
+		waitErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it attach
+	cancel()
+	select {
+	case err := <-waitErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("detached waiter got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+
+	// The original execution is unaffected.
+	close(release)
+	bg.Wait()
+	if got := r.Stats().Ran; got != 1 {
+		t.Fatalf("ran = %d, want 1", got)
+	}
+}
+
+// TestQueuedTasksSkippedOnCancelDrainInBoundedTime pins the drain
+// property SIGINT handling relies on: a long queue of cancelled work
+// completes without executing anything.
+func TestQueuedTasksSkippedOnCancelDrainInBoundedTime(t *testing.T) {
+	r := New(1)
+	defer r.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		r.Do(nil, "", PriEval, func() (any, error) {
+			close(started)
+			<-block
+			return nil, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int32
+	const queued = 64
+	var wg sync.WaitGroup
+	var cancelErrs atomic.Int32
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := r.Do(ctx, "", PriGrid, func() (any, error) {
+				executed.Add(1)
+				// A real grid cell would burn seconds here; executing any
+				// of these after the cancel would blow the drain bound.
+				time.Sleep(time.Second)
+				return nil, nil
+			})
+			if errors.Is(err, context.Canceled) {
+				cancelErrs.Add(1)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the queue fill behind the blocker
+	cancel()
+	close(block)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled queue did not drain in bounded time")
+	}
+	if got := executed.Load(); got != 0 {
+		t.Fatalf("%d queued tasks executed after the cancel, want 0", got)
+	}
+	if got := cancelErrs.Load(); got != queued {
+		t.Fatalf("%d callers saw context.Canceled, want %d", got, queued)
+	}
+	bg.Wait()
+}

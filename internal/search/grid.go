@@ -10,6 +10,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -122,9 +123,16 @@ func indexOf(xs []int, x int) int {
 // is a leaf task on the shared executor (PriGrid — plentiful filler work),
 // served from opts.Cache when a prior build already persisted it, so an
 // interrupted sweep resumes without recomputing finished combinations.
-func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
+// Cancelling ctx stops new submissions, aborts in-flight cells at their
+// next window boundary, and returns an "interrupted after N/M" error
+// wrapping ctx.Err(); combinations that completed before the cancel are
+// already persisted, which is what makes the interruption resumable.
+func BuildGrid(ctx context.Context, apps []kernel.Params, opts GridOptions) (*Grid, error) {
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("search: no applications")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if opts.Levels == nil {
 		opts.Levels = append([]int(nil), config.TLPLevels...)
@@ -147,7 +155,7 @@ func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 		mu.Lock()
 		bail := err != nil
 		mu.Unlock()
-		if bail {
+		if bail || ctx.Err() != nil {
 			break
 		}
 		idx := idx
@@ -156,7 +164,7 @@ func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, runErr := runCombo(apps, combos[idx], opts)
+			res, runErr := runCombo(ctx, apps, combos[idx], opts)
 			mu.Lock()
 			defer mu.Unlock()
 			if runErr != nil {
@@ -173,13 +181,17 @@ func BuildGrid(apps []kernel.Params, opts GridOptions) (*Grid, error) {
 		}()
 	}
 	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("search: grid build interrupted after %d/%d combinations: %w",
+			done, len(combos), cerr)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
-func runCombo(apps []kernel.Params, tlps []int, opts GridOptions) (sim.Result, error) {
+func runCombo(ctx context.Context, apps []kernel.Params, tlps []int, opts GridOptions) (sim.Result, error) {
 	rs := spec.RunSpec{
 		Config:       opts.Config,
 		Apps:         apps,
@@ -187,7 +199,7 @@ func runCombo(apps []kernel.Params, tlps []int, opts GridOptions) (sim.Result, e
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
 	}
-	return simcache.RunCached(opts.Cache, opts.Runner, runner.PriGrid, rs, nil)
+	return simcache.RunCached(ctx, opts.Cache, opts.Runner, runner.PriGrid, rs, nil)
 }
 
 // Eval is how a grid cell scores under some figure of merit. The closures

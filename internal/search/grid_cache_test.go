@@ -45,7 +45,7 @@ func cacheGridApps(t *testing.T) []kernel.Params {
 func TestBuildGridWarmRebuildBitIdentical(t *testing.T) {
 	opts, c := cacheGridOpts(t)
 	apps := cacheGridApps(t)
-	cold, err := BuildGrid(apps, opts)
+	cold, err := BuildGrid(nil, apps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestBuildGridWarmRebuildBitIdentical(t *testing.T) {
 		t.Fatalf("persisted %d cells, want %d", got, cells)
 	}
 	before := c.Stats()
-	warm, err := BuildGrid(apps, opts)
+	warm, err := BuildGrid(nil, apps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestBuildGridWarmRebuildBitIdentical(t *testing.T) {
 func TestBuildGridResumesPartialGrid(t *testing.T) {
 	opts, c := cacheGridOpts(t)
 	apps := cacheGridApps(t)
-	cold, err := BuildGrid(apps, opts)
+	cold, err := BuildGrid(nil, apps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestBuildGridResumesPartialGrid(t *testing.T) {
 	}
 
 	before := c.Stats()
-	resumed, err := BuildGrid(apps, opts)
+	resumed, err := BuildGrid(nil, apps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestBuildGridResumesPartialGrid(t *testing.T) {
 func TestBuildGridNilCacheStillWorks(t *testing.T) {
 	opts, _ := cacheGridOpts(t)
 	opts.Cache = nil
-	g, err := BuildGrid(cacheGridApps(t), opts)
+	g, err := BuildGrid(nil, cacheGridApps(t), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

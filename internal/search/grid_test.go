@@ -30,7 +30,7 @@ func apps(names ...string) []kernel.Params {
 
 func buildSmallGrid(t *testing.T) *Grid {
 	t.Helper()
-	g, err := BuildGrid(apps("BLK", "BFS"), GridOptions{
+	g, err := BuildGrid(nil, apps("BLK", "BFS"), GridOptions{
 		Config:       smallCfg(),
 		Levels:       []int{1, 4, 24},
 		TotalCycles:  15_000,
@@ -156,12 +156,12 @@ func TestPBSOfflineFIReturnsValidCombo(t *testing.T) {
 }
 
 func TestBuildGridErrors(t *testing.T) {
-	if _, err := BuildGrid(nil, GridOptions{Config: smallCfg()}); err == nil {
+	if _, err := BuildGrid(nil, nil, GridOptions{Config: smallCfg()}); err == nil {
 		t.Fatal("empty workload accepted")
 	}
 	bad := smallCfg()
 	bad.NumCores = 3 // not divisible between 2 apps
-	if _, err := BuildGrid(apps("BLK", "TRD"), GridOptions{
+	if _, err := BuildGrid(nil, apps("BLK", "TRD"), GridOptions{
 		Config: bad, TotalCycles: 1000,
 	}); err == nil {
 		t.Fatal("bad config accepted")
@@ -172,7 +172,7 @@ func TestThreeAppGrid(t *testing.T) {
 	// 3 apps with 2 levels: 8 combos on a tiny machine (3 cores, 1 each).
 	cfg := smallCfg()
 	cfg.NumCores = 3
-	g, err := BuildGrid(apps("BLK", "TRD", "BFS"), GridOptions{
+	g, err := BuildGrid(nil, apps("BLK", "TRD", "BFS"), GridOptions{
 		Config:       cfg,
 		Levels:       []int{2, 24},
 		TotalCycles:  8_000,

@@ -9,15 +9,18 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"ebm/internal/config"
 	"ebm/internal/dram"
+	"ebm/internal/faultinject"
 	"ebm/internal/gpu"
 	"ebm/internal/icnt"
 	"ebm/internal/kernel"
 	"ebm/internal/mem"
 	"ebm/internal/obs"
+	"ebm/internal/resilience"
 	"ebm/internal/spec"
 	"ebm/internal/tlp"
 )
@@ -79,6 +82,17 @@ type Options struct {
 	// disabled runs stay allocation-free and bit-identical to the golden
 	// baselines.
 	Obs *obs.Observer
+
+	// Hooks is the fault-injection seam (chaos tests, ebsim -chaos):
+	// WindowBoundary is called once per sampling window, never per cycle.
+	// Nil (production) costs one pointer-nil branch per window. Hooks are
+	// not part of a run's cache identity; hooked runs must stay uncached.
+	Hooks faultinject.Hooks
+
+	// Watchdog, when non-nil, receives a progress pulse at every sampling
+	// window boundary; pair it with Watchdog.Guard so a run whose cycle
+	// counter stops advancing is cancelled after the no-progress deadline.
+	Watchdog *resilience.Watchdog
 }
 
 func (o *Options) fillDefaults() error {
@@ -406,6 +420,22 @@ const networkCap = 64
 // Run executes the configured number of cycles and returns the measured
 // result.
 func (s *Simulator) Run() Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked once per sampling window (never per cycle, keeping the hot
+// loop allocation-free — context.Background costs a single nil-channel
+// test), so a cancelled run returns within one window of the cancel with
+// the partial result measured so far and ctx.Err(). Cancellation before
+// the warmup boundary yields a zero Result (there is no measurement
+// region yet). A nil ctx means context.Background().
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done() // nil for Background: the check below compiles away
 	windows := uint64(0)
 	nextWindow := s.opts.WindowCycles
 	for s.cycle = 0; s.cycle < s.opts.TotalCycles; s.cycle++ {
@@ -527,7 +557,34 @@ func (s *Simulator) Run() Result {
 			}
 			s.newWindow()
 			nextWindow += s.opts.WindowCycles
+
+			// Resilience boundary: the fault seam may stall here (a stuck
+			// window), the watchdog heartbeat marks progress, and the
+			// cancellation check bounds abort latency to one window.
+			if s.opts.Hooks != nil {
+				s.opts.Hooks.WindowBoundary(now + 1)
+			}
+			if s.opts.Watchdog != nil {
+				s.opts.Watchdog.Pulse()
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return s.partial(windows), ctx.Err()
+				default:
+				}
+			}
 		}
+	}
+	return s.result(windows), nil
+}
+
+// partial assembles the best-effort result of an interrupted run: the
+// normal measurement over [warmup, cancel) once the warmup boundary has
+// passed, a zero Result (window count only) before it.
+func (s *Simulator) partial(windows uint64) Result {
+	if s.warm == nil || s.cycle <= s.opts.WarmupCycles {
+		return Result{Windows: windows}
 	}
 	return s.result(windows)
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "ebm/internal/spec"
+import (
+	"context"
+
+	"ebm/internal/spec"
+)
 
 // FromSpec materializes a declarative run description into engine
 // options, building the TLP manager through the scheme registry. The
@@ -27,8 +31,11 @@ func FromSpec(rs spec.RunSpec) (Options, error) {
 }
 
 // Execute runs a declarative run description to completion: the
-// replayable execution path behind simcache.RunCached.
-func Execute(rs spec.RunSpec) (Result, error) {
+// replayable execution path behind simcache.RunCached. Cancellation is
+// cooperative (checked at sampling-window boundaries); a cancelled run
+// returns a zero Result with ctx.Err(), never a partial one, so the
+// caching layers can never persist an interrupted measurement.
+func Execute(ctx context.Context, rs spec.RunSpec) (Result, error) {
 	o, err := FromSpec(rs)
 	if err != nil {
 		return Result{}, err
@@ -37,5 +44,9 @@ func Execute(rs spec.RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(), nil
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
 }

@@ -26,17 +26,27 @@
 package simcache
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 
+	"ebm/internal/faultinject"
 	"ebm/internal/obs"
+	"ebm/internal/resilience"
 	"ebm/internal/runner"
 	"ebm/internal/sim"
 	"ebm/internal/spec"
 )
+
+// Warnf surfaces non-fatal cache degradation (a computed result that
+// could not be persisted). Stderr by default; replaceable for tests and
+// embedding.
+var Warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
 
 // SchemaVersion invalidates every existing cache entry when bumped. Bump
 // it whenever the cycle engine's behaviour changes — i.e. in the same
@@ -107,7 +117,35 @@ type Cache struct {
 	hits, misses, writes, corrupt, writeFails atomic.Uint64
 
 	// Optional observability handles (nil-safe), set via Instrument.
-	hitC, missC, writeC *obs.Counter
+	hitC, missC, writeC, writeFailC *obs.Counter
+
+	// Resilience wiring, set before use via SetHooks / SetResilience:
+	// hooks is the fault-injection seam (nil in production), retry the
+	// persist backoff policy (zero value = resilience.DefaultPolicy),
+	// mon the incident sink (nil discards).
+	hooks faultinject.Hooks
+	retry resilience.Policy
+	mon   *resilience.Monitor
+}
+
+// SetHooks installs the fault-injection seam (chaos tests, ebsim
+// -chaos). Call before submitting work; nil is the production default.
+func (c *Cache) SetHooks(h faultinject.Hooks) {
+	if c == nil {
+		return
+	}
+	c.hooks = h
+}
+
+// SetResilience installs the persist retry policy and the incident
+// monitor. The zero Policy retries with resilience.DefaultPolicy; a nil
+// monitor discards incidents. Call before submitting work.
+func (c *Cache) SetResilience(p resilience.Policy, mon *resilience.Monitor) {
+	if c == nil {
+		return
+	}
+	c.retry = p
+	c.mon = mon
 }
 
 // Open returns a cache rooted at dir, creating it if needed.
@@ -140,6 +178,18 @@ func (c *Cache) get(key string, countMiss bool) (sim.Result, bool) {
 	if c == nil {
 		return sim.Result{}, false
 	}
+	if h := c.hooks; h != nil {
+		if err := h.CacheRead(key); err != nil {
+			// An unreadable entry degrades exactly like a corrupt one: a
+			// counted miss that falls through to direct execution.
+			c.corrupt.Add(1)
+			if countMiss {
+				c.misses.Add(1)
+				c.missC.Inc()
+			}
+			return sim.Result{}, false
+		}
+	}
 	b, err := os.ReadFile(c.Path(key))
 	if err != nil {
 		if countMiss {
@@ -169,6 +219,11 @@ func (c *Cache) get(key string, countMiss bool) (sim.Result, bool) {
 func (c *Cache) Put(key string, r sim.Result) error {
 	if c == nil {
 		return nil
+	}
+	if h := c.hooks; h != nil {
+		if err := h.CacheWrite(key); err != nil {
+			return fmt.Errorf("simcache: write %s: %w", key, err)
+		}
 	}
 	b, err := json.Marshal(entry{Schema: SchemaVersion, Key: key, Result: r})
 	if err != nil {
@@ -230,8 +285,8 @@ func (c *Cache) Stats() Stats {
 }
 
 // Instrument mirrors the cache's traffic into an obs registry:
-// ebm_simcache_hits_total, ebm_simcache_misses_total, and
-// ebm_simcache_writes_total.
+// ebm_simcache_hits_total, ebm_simcache_misses_total,
+// ebm_simcache_writes_total, and ebm_simcache_write_fails_total.
 func (c *Cache) Instrument(reg *obs.Registry) {
 	if c == nil || reg == nil {
 		return
@@ -239,9 +294,28 @@ func (c *Cache) Instrument(reg *obs.Registry) {
 	c.hitC = reg.Counter("ebm_simcache_hits_total", "simulation results served from the on-disk cache")
 	c.missC = reg.Counter("ebm_simcache_misses_total", "cache lookups that fell through to simulation")
 	c.writeC = reg.Counter("ebm_simcache_writes_total", "simulation results persisted to the cache")
+	c.writeFailC = reg.Counter("ebm_simcache_write_fails_total", "results computed but not persisted after retries")
 	c.hitC.Set(c.hits.Load())
 	c.missC.Set(c.misses.Load())
 	c.writeC.Set(c.writes.Load())
+	c.writeFailC.Set(c.writeFails.Load())
+}
+
+// persist writes a computed result through the retry policy; exhausting
+// the retries degrades to an uncached (but still returned) result with a
+// surfaced warning and a counted write failure — never an aborted run.
+func (c *Cache) persist(ctx context.Context, key string, r sim.Result) {
+	if c == nil {
+		return
+	}
+	err := c.retry.Retry(ctx, "simcache:"+key, c.mon, func() error {
+		return c.Put(key, r)
+	})
+	if err != nil {
+		c.writeFails.Add(1)
+		c.writeFailC.Inc()
+		Warnf("simcache: warning: result %s computed but not persisted: %v", key, err)
+	}
 }
 
 // RunCached executes a simulation through the shared layers: serve from
@@ -249,13 +323,19 @@ func (c *Cache) Instrument(reg *obs.Registry) {
 // pool when r is nil) with singleflight on the spec key — identical
 // concurrent requests share one execution — and persist the result.
 // run overrides the execution (tests, custom assembly); nil executes
-// the spec itself (sim.Execute), which is the normal path. Cache write
-// failures are deliberately non-fatal (the result is still perfectly
-// good); they surface through Stats and the instrumented counters
-// instead.
-func RunCached(c *Cache, r *runner.Runner, pri int, rs spec.RunSpec, run func() (sim.Result, error)) (sim.Result, error) {
+// the spec itself (sim.Execute), which is the normal path. The context
+// cancels cooperatively: the wait, the simulation (at its next window
+// boundary), and the retry sleeps all observe it, and a cancelled run is
+// counted on the cache's resilience monitor. Cache write failures are
+// retried per the cache's policy and then deliberately non-fatal (the
+// result is still perfectly good); they surface through Warnf, Stats,
+// and the instrumented counters instead.
+func RunCached(ctx context.Context, c *Cache, r *runner.Runner, pri int, rs spec.RunSpec, run func(context.Context) (sim.Result, error)) (sim.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if run == nil {
-		run = func() (sim.Result, error) { return sim.Execute(rs) }
+		run = func(ctx context.Context) (sim.Result, error) { return sim.Execute(ctx, rs) }
 	}
 	key := Key(rs)
 	if res, ok := c.Get(key); ok {
@@ -264,22 +344,23 @@ func RunCached(c *Cache, r *runner.Runner, pri int, rs spec.RunSpec, run func() 
 	if r == nil {
 		r = runner.Default()
 	}
-	v, err := r.Do("sim:"+key, pri, func() (any, error) {
+	v, err := r.Do(ctx, "sim:"+key, pri, func() (any, error) {
 		// A concurrent process (or a deduplicated predecessor in this
 		// one) may have persisted the entry since the first lookup.
 		if res, ok := c.get(key, false); ok {
 			return res, nil
 		}
-		res, err := run()
+		res, err := run(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if perr := c.Put(key, res); perr != nil && c != nil {
-			c.writeFails.Add(1) // best effort; the result is still good
-		}
+		c.persist(ctx, key, res)
 		return res, nil
 	})
 	if err != nil {
+		if c != nil && ctx.Err() != nil {
+			c.mon.RunCancelled("sim:" + key)
+		}
 		return sim.Result{}, err
 	}
 	return v.(sim.Result), nil

@@ -1,6 +1,7 @@
 package simcache
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -231,7 +232,7 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 
 	// RunCached falls back to recompute and heals the entry.
 	ran := 0
-	res, err := RunCached(c, nil, runner.PriGrid, testSpec(), func() (sim.Result, error) {
+	res, err := RunCached(nil, c, nil, runner.PriGrid, testSpec(), func(context.Context) (sim.Result, error) {
 		ran++
 		return awkwardResult(), nil
 	})
@@ -261,7 +262,7 @@ func TestRunCachedHitSkipsPoolAndRun(t *testing.T) {
 	if err := c.Put(Key(rs), want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunCached(c, nil, runner.PriEval, rs, func() (sim.Result, error) {
+	got, err := RunCached(nil, c, nil, runner.PriEval, rs, func(context.Context) (sim.Result, error) {
 		t.Fatal("run executed despite a valid cache entry")
 		return sim.Result{}, nil
 	})
@@ -285,7 +286,7 @@ func TestRunCachedDedupsConcurrentIdenticalRuns(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := RunCached(c, pool, runner.PriGrid, rs, func() (sim.Result, error) {
+			res, err := RunCached(nil, c, pool, runner.PriGrid, rs, func(context.Context) (sim.Result, error) {
 				execs.Add(1)
 				<-gate
 				return awkwardResult(), nil
@@ -322,7 +323,7 @@ func TestNilCacheIsSafe(t *testing.T) {
 	}
 	c.Instrument(obs.NewRegistry()) // must not panic
 	ran := 0
-	if _, err := RunCached(c, nil, runner.PriGrid, testSpec(), func() (sim.Result, error) {
+	if _, err := RunCached(nil, c, nil, runner.PriGrid, testSpec(), func(context.Context) (sim.Result, error) {
 		ran++
 		return sim.Result{}, nil
 	}); err != nil || ran != 1 {
@@ -373,7 +374,7 @@ func TestRealRunBitIdentityThroughCache(t *testing.T) {
 	app, _ := kernel.ByName("BFS")
 	rs := spec.RunSpec{Config: cfg, Apps: []kernel.Params{app},
 		Scheme: spec.Static([]int{4}, nil), TotalCycles: 10_000, WarmupCycles: 2_000}
-	fresh1, err := sim.Execute(rs)
+	fresh1, err := sim.Execute(nil, rs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,11 +384,11 @@ func TestRealRunBitIdentityThroughCache(t *testing.T) {
 	}
 	pool := runner.New(2)
 	defer pool.Close()
-	cached, err := RunCached(c, pool, runner.PriGrid, rs, nil)
+	cached, err := RunCached(nil, c, pool, runner.PriGrid, rs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := RunCached(c, pool, runner.PriGrid, rs, func() (sim.Result, error) {
+	warm, err := RunCached(nil, c, pool, runner.PriGrid, rs, func(context.Context) (sim.Result, error) {
 		t.Fatal("warm lookup re-simulated")
 		return sim.Result{}, nil
 	})
@@ -413,7 +414,7 @@ func TestKnobbedManagerRoundTripsCache(t *testing.T) {
 	sch.CCWS.Hysteresis = 3
 	rs := spec.RunSpec{Config: cfg, Apps: []kernel.Params{app},
 		Scheme: sch, TotalCycles: 10_000, WarmupCycles: 2_000, VictimTags: 64}
-	fresh, err := sim.Execute(rs)
+	fresh, err := sim.Execute(nil, rs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,11 +422,11 @@ func TestKnobbedManagerRoundTripsCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached, err := RunCached(c, nil, runner.PriEval, rs, nil)
+	cached, err := RunCached(nil, c, nil, runner.PriEval, rs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := RunCached(c, nil, runner.PriEval, rs, func() (sim.Result, error) {
+	warm, err := RunCached(nil, c, nil, runner.PriEval, rs, func(context.Context) (sim.Result, error) {
 		t.Fatal("warm lookup re-simulated")
 		return sim.Result{}, nil
 	})
