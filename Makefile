@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify race chaos bench obs-bench figs-bench test build
+.PHONY: all verify race chaos bench obs-bench figs-bench ckpt-bench test build
 
 all: verify
 
@@ -22,7 +22,8 @@ verify:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping"; fi
 	$(GO) test ./...
-	$(GO) test -race ./internal/runner/... ./internal/resilience/...
+	$(GO) test -race ./internal/runner/... ./internal/resilience/... \
+	    ./internal/ckpt/...
 
 # race runs the short test suite under the race detector (the grid builder
 # and profiler are the only concurrent paths).
@@ -30,11 +31,12 @@ race:
 	$(GO) test -race -short ./...
 
 # chaos runs the fault-injection suite (DESIGN.md §10) under the race
-# detector: injected cache I/O faults, a task panic, watchdog trips on a
-# stalled engine, and a real SIGINT mid-grid-build with clean resume.
+# detector: injected cache and checkpoint I/O faults, a task panic,
+# watchdog trips on a stalled engine, and a real SIGINT mid-grid-build
+# with clean resume.
 chaos:
 	$(GO) test -race -run 'Chaos|Cancel|Watchdog|Degrade|Injected|MidWrite|Fault|SIGINT' \
-	    . ./internal/sim/... ./internal/simcache/... \
+	    . ./internal/sim/... ./internal/simcache/... ./internal/ckpt/... \
 	    ./internal/faultinject/... ./internal/resilience/... \
 	    ./internal/runner/... ./internal/cli/...
 
@@ -64,3 +66,12 @@ figs-bench:
 	$(GO) run ./cmd/benchdiff -pkgs . \
 	    -bench 'PaperFigsQuick' -benchtime 1x -count 3 -out BENCH_3.json \
 	    -maxratio 'BenchmarkPaperFigsQuickWarm/BenchmarkPaperFigsQuickCold=0.2'
+
+# ckpt-bench enforces the sub-linear cold-sweep contract (DESIGN.md §11):
+# a cold 36-cell grid sweep forking from prefix checkpoints must take at
+# most 0.5x of the same sweep simulated from cycle zero, measured in the
+# same run. The cold/forked timings are snapshotted into BENCH_6.json.
+ckpt-bench:
+	$(GO) run ./cmd/benchdiff -pkgs . \
+	    -bench 'CkptSweep' -benchtime 1x -count 3 -out BENCH_6.json \
+	    -maxratio 'BenchmarkCkptSweepForked/BenchmarkCkptSweepCold=0.5'

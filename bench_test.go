@@ -18,11 +18,14 @@ import (
 	"testing"
 
 	"ebm"
+	"ebm/internal/ckpt"
 	"ebm/internal/config"
 	"ebm/internal/experiments"
 	"ebm/internal/kernel"
 	"ebm/internal/obs"
+	"ebm/internal/search"
 	"ebm/internal/sim"
+	"ebm/internal/simcache"
 	"ebm/internal/workload"
 )
 
@@ -257,6 +260,69 @@ func BenchmarkPaperFigsQuickWarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchFigsPanel(b, benchFigsEnv(b, dir))
+	}
+}
+
+// --- Fork-from-checkpoint workflow (DESIGN.md §11). ---
+
+// benchCkptGrid builds the 36-cell static grid (two apps, six TLP levels
+// per axis) on the reduced machine at the given horizon, with each
+// uncached cell executing through store when one is supplied.
+func benchCkptGrid(b *testing.B, total uint64, cacheDir string, store *ckpt.Store) {
+	b.Helper()
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	wl := workload.MustMake("BLK", "TRD")
+	var cache *simcache.Cache
+	if cacheDir != "" {
+		var err error
+		cache, err = simcache.Open(cacheDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := search.BuildGrid(nil, wl.Apps, search.GridOptions{
+		Config:       cfg,
+		Levels:       []int{1, 2, 4, 8, 16, 24},
+		TotalCycles:  total,
+		WarmupCycles: 2_000,
+		Cache:        cache,
+		Ckpt:         store,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCkptSweepCold measures a straight cold grid sweep: every
+// iteration simulates all 36 combinations from cycle zero into a fresh
+// (empty) result cache.
+func BenchmarkCkptSweepCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchCkptGrid(b, 50_000, b.TempDir(), nil)
+	}
+}
+
+// BenchmarkCkptSweepForked is the same cold sweep forking from prefix
+// checkpoints: an untimed shorter-horizon build persists one engine
+// snapshot per combination at cycle 30,000, then every timed iteration —
+// still against a fresh, empty result cache — restores each cell from its
+// snapshot and simulates only the remaining 20,000 cycles. The Makefile's
+// ckpt-bench target asserts this stays at most 0.5x of the cold benchmark
+// (the sub-linear cold-sweep contract).
+func BenchmarkCkptSweepForked(b *testing.B) {
+	store, err := ckpt.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 30,000 cycles is 6 default windows; Every(6) persists exactly the
+	// run-end snapshot of each combination.
+	store.SetEvery(6)
+	benchCkptGrid(b, 30_000, "", store) // prewarm: pay the shared prefixes once
+	store.SetEvery(0)                   // read-only: timed iterations fork, never write
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCkptGrid(b, 50_000, b.TempDir(), store)
 	}
 }
 

@@ -1,11 +1,12 @@
 package ebm_test
 
-// Chaos tests: drive a real grid build through injected cache I/O
-// failures, a crashing task, and a genuine mid-build SIGINT, and prove
-// the resilience contract of DESIGN.md §10 end to end — the on-disk
-// result cache is never torn, an interrupted sweep's state is resumable,
-// and a clean rerun replays bit-identically from it. `make chaos` runs
-// these under the race detector.
+// Chaos tests: drive a real grid build through injected cache and
+// checkpoint I/O failures, a crashing task, and a genuine mid-build
+// SIGINT, and prove the resilience contract of DESIGN.md §10 end to end —
+// the on-disk result cache is never torn, an interrupted sweep's state is
+// resumable, and a clean rerun replays bit-identically from it even when
+// it forks from checkpoints the faulty runs left behind. `make chaos`
+// runs these under the race detector.
 
 import (
 	"context"
@@ -21,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"ebm/internal/ckpt"
 	"ebm/internal/config"
 	"ebm/internal/faultinject"
 	"ebm/internal/kernel"
@@ -44,7 +46,7 @@ func chaosApps(t *testing.T) []kernel.Params {
 	return []kernel.Params{a, b}
 }
 
-func chaosGridOpts(cache *simcache.Cache, pool *runner.Runner) search.GridOptions {
+func chaosGridOpts(cache *simcache.Cache, pool *runner.Runner, store *ckpt.Store) search.GridOptions {
 	cfg := config.Default()
 	cfg.NumCores = 4
 	cfg.NumMemPartitions = 4
@@ -56,6 +58,7 @@ func chaosGridOpts(cache *simcache.Cache, pool *runner.Runner) search.GridOption
 		Parallelism:  4,
 		Runner:       pool,
 		Cache:        cache,
+		Ckpt:         store,
 	}
 }
 
@@ -106,27 +109,33 @@ func assertNoTornEntries(t *testing.T, dir string) {
 // the grid persisted.
 //
 // Act 3 — a clean rerun completes from the surviving state with cache
-// hits, and its grid is bit-identical to a build that never saw a fault.
+// hits (forking from whatever checkpoints the faulty runs persisted), and
+// its grid is bit-identical to a build that never saw a fault.
 func TestChaosGridBuildSurvivesFaultsAndResumes(t *testing.T) {
 	apps := chaosApps(t)
 	dir := t.TempDir()
+	ckptDir := t.TempDir()
 
-	// Reference: an undisturbed build in a separate cache directory.
+	// Reference: an undisturbed build in a separate cache directory, with
+	// no checkpoint store at all.
 	refPool := runner.New(4)
 	refCache, err := simcache.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := search.BuildGrid(context.Background(), apps, chaosGridOpts(refCache, refPool))
+	ref, err := search.BuildGrid(context.Background(), apps, chaosGridOpts(refCache, refPool, nil))
 	refPool.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	// Act 1: cache faults plus one injected task panic.
+	// Act 1: cache and checkpoint faults plus one injected task panic.
 	oldWarnf := simcache.Warnf
 	simcache.Warnf = func(string, ...any) {} // degradation warnings are expected noise here
 	t.Cleanup(func() { simcache.Warnf = oldWarnf })
+	oldCkptWarnf := ckpt.Warnf
+	ckpt.Warnf = func(string, ...any) {}
+	t.Cleanup(func() { ckpt.Warnf = oldCkptWarnf })
 
 	cache1, err := simcache.Open(dir)
 	if err != nil {
@@ -145,9 +154,18 @@ func TestChaosGridBuildSurvivesFaultsAndResumes(t *testing.T) {
 	cache1.SetResilience(resilience.Policy{
 		Attempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond,
 	}, mon)
+	store1, err := ckpt.Open(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store1.SetEvery(1)
+	store1.SetHooks(inj) // checkpoint reads and writes share the injector
+	store1.SetResilience(resilience.Policy{
+		Attempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond,
+	}, mon)
 	pool1 := runner.New(4)
 	pool1.SetHooks(inj)
-	_, err = search.BuildGrid(context.Background(), apps, chaosGridOpts(cache1, pool1))
+	_, err = search.BuildGrid(context.Background(), apps, chaosGridOpts(cache1, pool1, store1))
 	pool1.Close()
 	if err == nil {
 		t.Fatal("the injected task panic did not surface as a build error")
@@ -168,8 +186,13 @@ func TestChaosGridBuildSurvivesFaultsAndResumes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	store2, err := ckpt.Open(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2.SetEvery(1)
 	pool2 := runner.New(2)
-	opts2 := chaosGridOpts(cache2, pool2)
+	opts2 := chaosGridOpts(cache2, pool2, store2)
 	var sigSent atomic.Bool
 	opts2.Progress = func(done, total int, combo []int) {
 		if sigSent.CompareAndSwap(false, true) {
@@ -201,14 +224,21 @@ func TestChaosGridBuildSurvivesFaultsAndResumes(t *testing.T) {
 	}
 
 	// Act 3: clean resume. No hooks, background context; the surviving
-	// entries replay and the remainder simulates fresh.
+	// cache entries replay, the remainder forks from whatever checkpoints
+	// acts 1 and 2 persisted (or simulates from cycle zero where none
+	// survived), and the grid must still match the checkpoint-free
+	// reference bit for bit.
 	cache3, err := simcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store3, err := ckpt.Open(ckptDir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pool3 := runner.New(4)
 	defer pool3.Close()
-	resumed, err := search.BuildGrid(context.Background(), apps, chaosGridOpts(cache3, pool3))
+	resumed, err := search.BuildGrid(context.Background(), apps, chaosGridOpts(cache3, pool3, store3))
 	if err != nil {
 		t.Fatalf("clean resume failed: %v", err)
 	}

@@ -6,6 +6,7 @@
 //	benchdiff                         # run substrate benches, write BENCH_1.json
 //	benchdiff -out BENCH_2.json       # record a new snapshot
 //	benchdiff -old BENCH_1.json       # run, then print a comparison table
+//	benchdiff -baseline BENCH_3.json  # run, then print a one-line ratio table
 //	benchdiff -bench 'CycleTick' -benchtime 500000x
 //	benchdiff -bench 'SimulatorCycles' \
 //	    -maxratio 'BenchmarkSimulatorCyclesObs/BenchmarkSimulatorCycles=1.05'
@@ -13,7 +14,12 @@
 // -maxratio asserts a ns/op ratio between two benchmarks of the same run
 // (numerator/denominator <= bound) and exits non-zero on violation; the
 // Makefile's obs-bench target uses it to hold the observability overhead
-// under 5%.
+// under 5%, and ckpt-bench to hold forked cold sweeps under half the
+// straight-cold time.
+//
+// -baseline diffs this run against any named BENCH_*.json as a single
+// line of new/old ns/op ratios — the compact form for commit messages
+// and CI logs, where -old's full table is too wide.
 //
 // SIGINT/SIGTERM cancels the benchmark subprocess and exits 130.
 //
@@ -65,6 +71,7 @@ func run(ctx context.Context) error {
 		count     = fs.Int("count", 1, "go test -count value")
 		out       = fs.String("out", "BENCH_1.json", "output JSON snapshot (empty disables)")
 		old       = fs.String("old", "", "previous snapshot to diff against")
+		baseline  = fs.String("baseline", "", "snapshot to diff against as a one-line ratio table")
 		maxRatio  = fs.String("maxratio", "", "assert ns/op ratio 'BenchA/BenchB=1.05' within this run")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -114,6 +121,14 @@ func run(ctx context.Context) error {
 			return err
 		}
 		diff(os.Stdout, prev, snap)
+	}
+
+	if *baseline != "" {
+		prev, err := load(*baseline)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ratioLine(*baseline, prev, snap))
 	}
 
 	if *maxRatio != "" {
@@ -246,6 +261,41 @@ func diff(w *os.File, old, new File) {
 			b.Name, o.NsPerOp, b.NsPerOp, pct(o.NsPerOp, b.NsPerOp),
 			o.AllocsPerOp, b.AllocsPerOp, pct(o.AllocsPerOp, b.AllocsPerOp))
 	}
+}
+
+// ratioLine renders new-vs-baseline ns/op ratios as one line:
+// "vs BENCH_3.json: BenchmarkA=0.97x BenchmarkB=1.42x BenchmarkC=new".
+// With -count > 1 the fastest run of each name on both sides forms the
+// ratio, matching assertRatio's least-noise estimate.
+func ratioLine(name string, base, cur File) string {
+	fastest := func(f File) map[string]float64 {
+		m := map[string]float64{}
+		for _, b := range f.Benchmarks {
+			if v, ok := m[b.Name]; !ok || b.NsPerOp < v {
+				m[b.Name] = b.NsPerOp
+			}
+		}
+		return m
+	}
+	bm := fastest(base)
+	var parts []string
+	seen := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		if seen[b.Name] {
+			continue
+		}
+		seen[b.Name] = true
+		o, ok := bm[b.Name]
+		switch {
+		case !ok:
+			parts = append(parts, b.Name+"=new")
+		case o == 0:
+			parts = append(parts, b.Name+"=inf")
+		default:
+			parts = append(parts, fmt.Sprintf("%s=%.2fx", b.Name, fastest(cur)[b.Name]/o))
+		}
+	}
+	return "vs " + name + ": " + strings.Join(parts, " ")
 }
 
 func pct(old, new float64) string {

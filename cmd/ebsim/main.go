@@ -27,7 +27,12 @@
 // -simcache DIR persists simulation results content-addressed by their
 // full configuration; a repeated invocation with identical flags replays
 // bit-identically from disk. Runs with -trace/-chrometrace/-listen bypass
-// the cache (they need the live event stream).
+// the cache (they need the live event stream). -ckpt persists engine
+// snapshots under -ckpt-dir and forks uncached runs from the deepest
+// snapshot sharing their deterministic prefix (so re-running with a longer
+// -cycles only simulates the extension); -ckpt-max-bytes caps the store.
+// Under -chaos the injector's faults also hit checkpoint reads and writes,
+// which degrade to cold execution, never wrong results.
 //
 // -chaos runs the workload under deterministic fault injection (seeded by
 // -chaos-seed): cache reads and writes fail probabilistically, the engine
@@ -49,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"ebm/internal/ckpt"
 	"ebm/internal/cli"
 	"ebm/internal/config"
 	pbscore "ebm/internal/core"
@@ -78,6 +84,9 @@ func run(ctx context.Context) error {
 		window    = fs.Uint64("window", 2_500, "sampling window in cycles")
 		cache     = fs.String("cache", "profiles.json", "alone-profile cache (empty disables)")
 		simc      = fs.String("simcache", "", "simulation-result cache directory (empty disables)")
+		ckptOn    = fs.Bool("ckpt", false, "fork uncached runs from prefix checkpoints")
+		ckptDir   = fs.String("ckpt-dir", "ckpt", "prefix-checkpoint store directory (with -ckpt)")
+		ckptMax   = fs.Int64("ckpt-max-bytes", 0, "checkpoint store byte cap, oldest evicted first (0 = unbounded)")
 		verbose   = fs.Bool("v", false, "print per-application details")
 		traceF    = fs.String("trace", "", "write per-window TLP/EB/BW/CMR time series to a CSV file")
 		chromeF   = fs.String("chrometrace", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
@@ -104,6 +113,19 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+	}
+	var store *ckpt.Store
+	if *ckptOn {
+		store, err = ckpt.Open(*ckptDir)
+		if err != nil {
+			return err
+		}
+		store.SetMaxBytes(*ckptMax)
+		defer func() {
+			s := store.Stats()
+			fmt.Fprintf(os.Stderr, "ebsim: ckpt: %d forks, %d checkpoints persisted (%s)\n",
+				s.Forks, s.Writes, store.Dir())
+		}()
 	}
 
 	// The live-metrics registry is created up front so the resilience
@@ -141,6 +163,10 @@ func run(ctx context.Context) error {
 			rcache.SetHooks(inj)
 			rcache.SetResilience(resilience.DefaultPolicy(), mon)
 		}
+		// Checkpoint reads and writes face the same injected faults; the
+		// store's degradation ladder turns them into cold execution.
+		store.SetHooks(inj)
+		store.SetResilience(resilience.DefaultPolicy(), mon)
 		dog = resilience.NewWatchdog(resilience.WatchdogOptions{
 			Label:    "ebsim",
 			Deadline: 30 * time.Second,
@@ -158,7 +184,7 @@ func run(ctx context.Context) error {
 	}
 
 	if *alone != "" {
-		return runAlone(ctx, cfg, *alone, rcache)
+		return runAlone(ctx, cfg, *alone, rcache, store)
 	}
 	if *wlName == "" {
 		return cli.Usagef("pass -workload NAME or -alone APP")
@@ -253,12 +279,13 @@ func run(ctx context.Context) error {
 		VictimTags:         victimTags,
 	}
 	var res sim.Result
-	if rcache != nil && observer == nil {
-		// Hook-free runs go through the result cache: a repeated
-		// invocation with identical flags replays bit-identically from
-		// disk. Observed runs must execute for their event streams, so
-		// they bypass the cache.
-		res, err = simcache.RunCached(ctx, rcache, nil, 0, rs, directRun(rs, inj, dog))
+	if (rcache != nil || store != nil) && observer == nil {
+		// Hook-free runs go through the result cache and the checkpoint
+		// store: a repeated invocation with identical flags replays
+		// bit-identically from disk, and a longer one forks from the
+		// deepest shared-prefix snapshot. Observed runs must execute for
+		// their event streams, so they bypass both.
+		res, err = simcache.RunCached(ctx, rcache, nil, 0, rs, directRun(rs, store, inj, dog))
 		if err != nil {
 			return err
 		}
@@ -318,28 +345,22 @@ func run(ctx context.Context) error {
 	return nil
 }
 
-// directRun builds the cache-miss execution path for RunCached: a plain
-// spec execution, except under -chaos where the engine also carries the
-// injector's window hooks and the watchdog's pulse. Nil hooks and
-// watchdog make this equivalent to the default path.
-func directRun(rs spec.RunSpec, inj *faultinject.Injector, dog *resilience.Watchdog) func(context.Context) (sim.Result, error) {
-	if inj == nil && dog == nil {
+// directRun builds the cache-miss execution path for RunCached: the
+// checkpoint store when -ckpt is on, and under -chaos the engine also
+// carries the injector's window hooks and the watchdog's pulse. With
+// none of the three this returns nil and RunCached falls back to
+// sim.Execute.
+func directRun(rs spec.RunSpec, store *ckpt.Store, inj *faultinject.Injector, dog *resilience.Watchdog) func(context.Context) (sim.Result, error) {
+	if store == nil && inj == nil && dog == nil {
 		return nil // RunCached falls back to sim.Execute
 	}
 	return func(ctx context.Context) (sim.Result, error) {
-		opts, err := sim.FromSpec(rs)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		if inj != nil {
-			opts.Hooks = inj
-		}
-		opts.Watchdog = dog
-		s, err := sim.New(opts)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		return s.RunContext(ctx)
+		return ckpt.ExecuteWith(ctx, store, rs, func(opts *sim.Options) {
+			if inj != nil { // a typed-nil *Injector must not become a non-nil Hooks
+				opts.Hooks = inj
+			}
+			opts.Watchdog = dog
+		})
 	}
 }
 
@@ -393,12 +414,12 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func runAlone(ctx context.Context, cfg config.GPU, name string, rcache *simcache.Cache) error {
+func runAlone(ctx context.Context, cfg config.GPU, name string, rcache *simcache.Cache, store *ckpt.Store) error {
 	app, ok := kernel.ByName(name)
 	if !ok {
 		return cli.Usagef("unknown application %q; apps: %v", name, kernel.Names())
 	}
-	p, err := profile.ProfileApp(ctx, app, profile.Options{Config: cfg, Cache: rcache})
+	p, err := profile.ProfileApp(ctx, app, profile.Options{Config: cfg, Cache: rcache, Ckpt: store})
 	if err != nil {
 		return err
 	}

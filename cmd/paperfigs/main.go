@@ -11,7 +11,10 @@
 //
 // Alone-run profiles are cached in ./profiles.json by default (-cache "").
 // Simulation results are cached under ./simcache by default (-simcache "");
-// a warm rerun replays grids, evaluations, and profiles from disk.
+// a warm rerun replays grids, evaluations, and profiles from disk. -ckpt
+// additionally persists engine snapshots under -ckpt-dir and forks every
+// uncached simulation from the deepest snapshot sharing its deterministic
+// prefix — a cold -quick pass and the full pass share the prefix work.
 //
 // SIGINT/SIGTERM cancels the run cooperatively: in-flight simulations
 // abort at their next window boundary, completed results stay persisted
@@ -28,6 +31,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"ebm/internal/ckpt"
 	"ebm/internal/cli"
 	"ebm/internal/experiments"
 	"ebm/internal/workload"
@@ -38,13 +42,16 @@ func main() { cli.Main("paperfigs", run) }
 func run(ctx context.Context) error {
 	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	var (
-		list  = fs.Bool("list", false, "list experiments and exit")
-		id    = fs.String("id", "", "run a single experiment by id (e.g. fig9)")
-		all   = fs.Bool("all", false, "run every experiment")
-		quick = fs.Bool("quick", false, "reduced run lengths and the 10 representative workloads")
-		cache = fs.String("cache", "profiles.json", "alone-profile cache path (empty disables)")
-		simc  = fs.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
-		out   = fs.String("out", "", "directory to also write one text file per experiment")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		id      = fs.String("id", "", "run a single experiment by id (e.g. fig9)")
+		all     = fs.Bool("all", false, "run every experiment")
+		quick   = fs.Bool("quick", false, "reduced run lengths and the 10 representative workloads")
+		cache   = fs.String("cache", "profiles.json", "alone-profile cache path (empty disables)")
+		simc    = fs.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
+		ckptOn  = fs.Bool("ckpt", false, "fork uncached simulations from prefix checkpoints")
+		ckptDir = fs.String("ckpt-dir", "ckpt", "prefix-checkpoint store directory (with -ckpt)")
+		ckptMax = fs.Int64("ckpt-max-bytes", 0, "checkpoint store byte cap, oldest evicted first (0 = unbounded)")
+		out     = fs.String("out", "", "directory to also write one text file per experiment")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
@@ -61,6 +68,14 @@ func run(ctx context.Context) error {
 	}
 
 	opt := experiments.Options{ProfileCache: *cache, SimCache: *simc}
+	if *ckptOn {
+		store, err := ckpt.Open(*ckptDir)
+		if err != nil {
+			return err
+		}
+		store.SetMaxBytes(*ckptMax)
+		opt.Ckpt = store
+	}
 	if *quick {
 		opt.GridCycles = 60_000
 		opt.GridWarmup = 10_000
@@ -79,6 +94,11 @@ func run(ctx context.Context) error {
 			s := c.Stats()
 			fmt.Fprintf(os.Stderr, "simcache: %d hits, %d misses, %d results persisted (%s)\n",
 				s.Hits, s.Misses, s.Writes, c.Dir())
+		}
+		if st := env.Ckpt(); st != nil {
+			s := st.Stats()
+			fmt.Fprintf(os.Stderr, "ckpt: %d forks, %d misses, %d checkpoints persisted (%s)\n",
+				s.Forks, s.Misses, s.Writes, st.Dir())
 		}
 	}()
 

@@ -22,7 +22,12 @@
 // Results are persisted per combination under -simcache (default
 // ./simcache), so an interrupted sweep resumes where it left off: already
 // persisted combinations replay from disk, only the missing ones are
-// simulated. SIGINT/SIGTERM triggers exactly that interruption
+// simulated. -ckpt additionally persists engine snapshots at window
+// boundaries under -ckpt-dir and forks each uncached simulation from the
+// deepest snapshot sharing its deterministic prefix, so even the cold part
+// of a sweep is sub-linear; -ckpt-max-bytes caps the store (oldest
+// checkpoints evicted first). The exit report counts simulations computed,
+// replayed from cache, and forked from checkpoints. SIGINT/SIGTERM triggers exactly that interruption
 // gracefully — in-flight simulations abort at their next window boundary,
 // the pool drains, finished combinations stay persisted, and a resumable
 // state report is printed before exiting 130. A second signal kills the
@@ -41,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"ebm/internal/ckpt"
 	"ebm/internal/cli"
 	"ebm/internal/config"
 	"ebm/internal/kernel"
@@ -70,6 +76,9 @@ func run(ctx context.Context) error {
 		warmup   = fs.Uint64("warmup", 20_000, "warmup cycles")
 		cache    = fs.String("cache", "profiles.json", "alone-profile cache (empty disables)")
 		simc     = fs.String("simcache", "simcache", "simulation-result cache directory (empty disables)")
+		ckptOn   = fs.Bool("ckpt", false, "fork uncached simulations from prefix checkpoints (sub-linear cold sweeps)")
+		ckptDir  = fs.String("ckpt-dir", "ckpt", "prefix-checkpoint store directory (with -ckpt)")
+		ckptMax  = fs.Int64("ckpt-max-bytes", 0, "checkpoint store byte cap, oldest evicted first (0 = unbounded)")
 		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent grid simulations (default: all CPUs)")
 		outPath  = fs.String("o", "", "also write the report to this file, e.g. results/blk_trd.txt")
 		listen   = fs.String("listen", "", "serve live sweep-progress metrics on this address, e.g. :8080")
@@ -104,10 +113,11 @@ func run(ctx context.Context) error {
 	start := time.Now()
 	sims := 0   // simulations actually executed this run
 	cached := 0 // results replayed from the on-disk cache
+	forked := 0 // simulations forked from a prefix checkpoint
 	defer func() {
 		elapsed := time.Since(start)
-		fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%.1f sims/s), %d replayed from cache\n",
-			sims, elapsed.Round(time.Millisecond), float64(sims)/elapsed.Seconds(), cached)
+		fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%.1f sims/s), %d replayed from cache, %d forked from checkpoints\n",
+			sims, elapsed.Round(time.Millisecond), float64(sims)/elapsed.Seconds(), cached, forked)
 	}()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -154,6 +164,19 @@ func run(ctx context.Context) error {
 			return err
 		}
 	}
+	// The checkpoint store makes even the *cold* part of a sweep
+	// sub-linear: every uncached simulation forks from the deepest
+	// persisted snapshot of its deterministic prefix (written by earlier
+	// sweeps at other horizons, or by this one before an interruption).
+	var store *ckpt.Store
+	if *ckptOn {
+		var err error
+		store, err = ckpt.Open(*ckptDir)
+		if err != nil {
+			return err
+		}
+		store.SetMaxBytes(*ckptMax)
+	}
 	pool := runner.New(*parallel)
 	defer pool.Close()
 
@@ -179,6 +202,7 @@ func run(ctx context.Context) error {
 		totalG = reg.Gauge("ebm_sweep_combos_total", "grid combinations in this sweep")
 		pool.Instrument(reg)
 		rcache.Instrument(reg)
+		store.Instrument(reg)
 		srv, err := obs.Serve(*listen, reg)
 		if err != nil {
 			return err
@@ -190,6 +214,7 @@ func run(ctx context.Context) error {
 	if rcache != nil {
 		rcache.SetResilience(resilience.DefaultPolicy(), mon)
 	}
+	store.SetResilience(resilience.DefaultPolicy(), mon)
 
 	// resumeReport describes the persisted state after an interruption so
 	// the user knows exactly what a rerun will pick up.
@@ -205,10 +230,16 @@ func run(ctx context.Context) error {
 		} else {
 			fmt.Fprintln(os.Stderr, "sweep: no -simcache directory: a rerun starts from scratch")
 		}
+		if store != nil {
+			cs := store.Stats()
+			fmt.Fprintf(os.Stderr,
+				"sweep: %d checkpoints persisted to %s; a rerun forks interrupted combinations from them\n",
+				cs.Writes, *ckptDir)
+		}
 	}
 
 	suite, err := profile.LoadOrProfile(ctx, *cache, kernel.All(), profile.Options{
-		Config: cfg, Runner: pool, Cache: rcache, Mon: mon,
+		Config: cfg, Runner: pool, Cache: rcache, Ckpt: store, Mon: mon,
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -226,6 +257,7 @@ func run(ctx context.Context) error {
 		Parallelism: *parallel,
 		Runner:      pool,
 		Cache:       rcache,
+		Ckpt:        store,
 		Progress: func(done, total int, combo []int) {
 			comboDone, comboTotal = done, total
 			totalG.Set(float64(total))
@@ -250,6 +282,9 @@ func run(ctx context.Context) error {
 		s := rcache.Stats()
 		sims = int(s.Writes + s.WriteFails)
 		cached = int(s.Hits)
+	}
+	if store != nil {
+		forked = int(store.Stats().Forks)
 	}
 
 	surfaces := map[string]struct {
@@ -352,7 +387,7 @@ func run(ctx context.Context) error {
 		if sch.Kind == spec.KindCCWS {
 			victimTags = 1024 // the lost-locality detector needs victim tags
 		}
-		r, err := simcache.RunCached(ctx, rcache, pool, runner.PriEval, spec.RunSpec{
+		rs := spec.RunSpec{
 			Config:             cfg,
 			Apps:               wl.Apps,
 			Scheme:             sch,
@@ -361,7 +396,8 @@ func run(ctx context.Context) error {
 			WindowCycles:       2_500,
 			DesignatedSampling: true,
 			VictimTags:         victimTags,
-		}, nil)
+		}
+		r, err := simcache.RunCached(ctx, rcache, pool, runner.PriEval, rs, ckpt.Runner(store, rs))
 		if err != nil {
 			if ctx.Err() != nil {
 				resumeReport("scheme " + sch.String())

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"ebm/internal/ckpt"
 	"ebm/internal/config"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
@@ -52,6 +53,12 @@ type Options struct {
 	// simulation-result cache: grids, evaluation runs, and alone profiles
 	// all persist there and replay on later runs.
 	SimCache string
+
+	// Ckpt, when non-nil, is the prefix-checkpoint store: every uncached
+	// simulation — profiles, grid cells, evaluation runs — forks from the
+	// deepest persisted snapshot of its deterministic prefix instead of
+	// replaying from cycle zero.
+	Ckpt *ckpt.Store
 
 	// Runner is the execution pool simulations are submitted to. Nil
 	// means the process-wide runner.Default().
@@ -95,6 +102,7 @@ type Env struct {
 	ctx context.Context
 
 	cache *simcache.Cache
+	ckpt  *ckpt.Store    // nil = cold execution for cache misses
 	pool  *runner.Runner // nil = runner.Default() at submission time
 	sf    runner.Group   // collapses duplicate grid builds / evals
 
@@ -127,6 +135,7 @@ func NewEnv(ctx context.Context, opt Options) (*Env, error) {
 		Parallelism:  opt.Parallelism,
 		Runner:       opt.Runner,
 		Cache:        cache,
+		Ckpt:         opt.Ckpt,
 	})
 	if err != nil {
 		return nil, err
@@ -136,6 +145,7 @@ func NewEnv(ctx context.Context, opt Options) (*Env, error) {
 		Suite:     suite,
 		ctx:       ctx,
 		cache:     cache,
+		ckpt:      opt.Ckpt,
 		pool:      opt.Runner,
 		grids:     map[string]*search.Grid{},
 		evalCache: map[string]*Eval{},
@@ -148,6 +158,11 @@ func (e *Env) Context() context.Context { return e.ctx }
 // Cache returns the environment's result cache (nil when -simcache is
 // off), e.g. for hit/miss reporting and obs instrumentation.
 func (e *Env) Cache() *simcache.Cache { return e.cache }
+
+// Ckpt returns the environment's prefix-checkpoint store (nil when
+// checkpointing is off), e.g. for fork reporting and obs
+// instrumentation.
+func (e *Env) Ckpt() *ckpt.Store { return e.ckpt }
 
 // buildGrid is search.BuildGrid, replaceable in tests (the Env.Grid
 // duplicate-build regression test swaps in a blocking build).
@@ -178,6 +193,7 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 			Parallelism:  e.Opt.Parallelism,
 			Runner:       e.pool,
 			Cache:        e.cache,
+			Ckpt:         e.ckpt,
 		})
 		if err != nil {
 			return nil, err
@@ -199,7 +215,7 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 // per-window hooks (uncacheable by construction) assemble sim.Options
 // directly instead.
 func (e *Env) Run(rs spec.RunSpec) (sim.Result, error) {
-	return simcache.RunCached(e.ctx, e.cache, e.pool, runner.PriEval, rs, nil)
+	return simcache.RunCached(e.ctx, e.cache, e.pool, runner.PriEval, rs, ckpt.Runner(e.ckpt, rs))
 }
 
 // EvalSpec is the evaluation-length run description for a workload under

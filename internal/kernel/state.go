@@ -1,0 +1,62 @@
+package kernel
+
+// StreamState is a WarpStream's serializable snapshot. The phase pointer
+// is not captured: the simulator re-binds the stream to the right Params
+// (via SetPhase with its tracked phase index) before restoring, then this
+// state overwrites the pointer-walk and RNG fields SetPhase perturbed.
+type StreamState struct {
+	RNG       uint64
+	SeqPtr    uint64
+	ShPtr     uint64
+	CompLeft  int
+	RunBase   int
+	RunFrac   float64
+	Generated uint64
+
+	CurValid bool
+	CurIsMem bool
+	CurWrite bool
+	// CurLines is nil for a compute instruction; for a memory instruction
+	// it is a copy of the coalesced line list (which in the live stream
+	// aliases the stream's own backing array).
+	CurLines []uint64
+}
+
+// State returns the stream's snapshot.
+func (s *WarpStream) State() StreamState {
+	st := StreamState{
+		RNG:       s.rng.State(),
+		SeqPtr:    s.seqPtr,
+		ShPtr:     s.shPtr,
+		CompLeft:  s.compLeft,
+		RunBase:   s.runBase,
+		RunFrac:   s.runFrac,
+		Generated: s.generated,
+		CurValid:  s.curValid,
+		CurIsMem:  s.cur.IsMem,
+		CurWrite:  s.cur.Write,
+	}
+	if s.cur.Lines != nil {
+		st.CurLines = append([]uint64(nil), s.cur.Lines...)
+	}
+	return st
+}
+
+// SetState restores the stream from a snapshot. The current instruction's
+// line list is copied back into the stream's backing array and re-aliased,
+// matching the invariant generate() maintains.
+func (s *WarpStream) SetState(st StreamState) {
+	s.rng.SetState(st.RNG)
+	s.seqPtr = st.SeqPtr
+	s.shPtr = st.ShPtr
+	s.compLeft = st.CompLeft
+	s.runBase = st.RunBase
+	s.runFrac = st.RunFrac
+	s.generated = st.Generated
+	s.curValid = st.CurValid
+	s.cur = Inst{IsMem: st.CurIsMem, Write: st.CurWrite}
+	if st.CurLines != nil {
+		n := copy(s.lines[:], st.CurLines)
+		s.cur.Lines = s.lines[:n]
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"ebm/internal/ckpt"
 	"ebm/internal/config"
 	"ebm/internal/kernel"
 	"ebm/internal/resilience"
@@ -42,6 +43,10 @@ type Options struct {
 	// Cache, when non-nil, serves alone-runs from the on-disk result
 	// cache and persists fresh ones.
 	Cache *simcache.Cache
+	// Ckpt, when non-nil, executes uncached alone-runs through the prefix
+	// checkpoint store, forking each from the deepest snapshot a prior
+	// (possibly shorter or interrupted) run of the same prefix persisted.
+	Ckpt *ckpt.Store
 	// Retry is the backoff policy for suite-cache saves (zero value =
 	// resilience.DefaultPolicy); Mon receives retry incidents (nil
 	// discards them).
@@ -109,7 +114,7 @@ func AloneRun(ctx context.Context, app kernel.Params, tlpLevel int, opts Options
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
 	}
-	return simcache.RunCached(ctx, opts.Cache, opts.Runner, runner.PriProfile, rs, nil)
+	return simcache.RunCached(ctx, opts.Cache, opts.Runner, runner.PriProfile, rs, ckpt.Runner(opts.Ckpt, rs))
 }
 
 // pickBest selects the level with the highest alone IPC.

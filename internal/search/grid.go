@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"ebm/internal/ckpt"
 	"ebm/internal/config"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
@@ -41,6 +42,13 @@ type GridOptions struct {
 	// Cache, when non-nil, serves cells from the on-disk result cache and
 	// persists fresh ones — an interrupted build resumes where it stopped.
 	Cache *simcache.Cache
+	// Ckpt, when non-nil, executes uncached cells through the prefix
+	// checkpoint store: every cell of a grid shares one deterministic
+	// prefix (the static schemes differ, so in practice each cell shares
+	// its prefix with the same cell at other horizons and with earlier
+	// interrupted builds), forking from the deepest persisted snapshot
+	// instead of replaying from cycle zero.
+	Ckpt *ckpt.Store
 
 	// Progress, when non-nil, is called after each combination finishes
 	// with the number completed so far, the grid size, and the combination
@@ -199,7 +207,7 @@ func runCombo(ctx context.Context, apps []kernel.Params, tlps []int, opts GridOp
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
 	}
-	return simcache.RunCached(ctx, opts.Cache, opts.Runner, runner.PriGrid, rs, nil)
+	return simcache.RunCached(ctx, opts.Cache, opts.Runner, runner.PriGrid, rs, ckpt.Runner(opts.Ckpt, rs))
 }
 
 // Eval is how a grid cell scores under some figure of merit. The closures

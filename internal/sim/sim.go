@@ -93,7 +93,20 @@ type Options struct {
 	// window boundary; pair it with Watchdog.Guard so a run whose cycle
 	// counter stops advancing is cancelled after the no-progress deadline.
 	Watchdog *resilience.Watchdog
+
+	// CkptSink, when non-nil, is called at the end of every sampling
+	// window's boundary bookkeeping with the count of windows completed so
+	// far; Snapshot/SnapshotBytes called from inside the sink capture the
+	// state a fork must resume from (the first cycle of the next window).
+	// A sink error permanently disables further sink calls for this run —
+	// checkpointing degrades, the simulation itself is never affected.
+	CkptSink func(window uint64, s *Simulator) error
 }
+
+// DefaultWindowCycles is the sampling-window length applied when
+// Options.WindowCycles is zero. Exported so checkpoint planners can
+// compute window boundaries for specs that leave the field defaulted.
+const DefaultWindowCycles = 5_000
 
 func (o *Options) fillDefaults() error {
 	if len(o.Apps) == 0 {
@@ -103,7 +116,7 @@ func (o *Options) fillDefaults() error {
 		o.TotalCycles = 120_000
 	}
 	if o.WindowCycles == 0 {
-		o.WindowCycles = 5_000
+		o.WindowCycles = DefaultWindowCycles
 	}
 	if o.WarmupCycles >= o.TotalCycles {
 		return fmt.Errorf("sim: warmup %d >= total %d", o.WarmupCycles, o.TotalCycles)
@@ -252,6 +265,18 @@ type Simulator struct {
 	memCycle uint64
 	memAcc   float64
 
+	// Window progress lives on the simulator (not as Run locals) so a
+	// restored run resumes mid-schedule: windows counts completed sampling
+	// windows, nextWindow is the cycle the next boundary fires at.
+	windows    uint64
+	nextWindow uint64
+
+	// ckptDead latches a CkptSink failure; atBoundary is true only while
+	// the sink runs, marking that a snapshot must resume at cycle+1 (the
+	// boundary's bookkeeping for cycle has already run).
+	ckptDead   bool
+	atBoundary bool
+
 	curDecision  tlp.Decision
 	pendDecision *tlp.Decision
 	pendAt       uint64
@@ -291,6 +316,7 @@ func New(opts Options) (*Simulator, error) {
 		kernels:        make([]uint64, len(opts.Apps)),
 		tlpAccum:       make([]float64, len(opts.Apps)),
 	}
+	s.nextWindow = opts.WindowCycles
 
 	numApps := len(opts.Apps)
 	s.appCores = make([][]int, numApps)
@@ -436,9 +462,10 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		ctx = context.Background()
 	}
 	done := ctx.Done() // nil for Background: the check below compiles away
-	windows := uint64(0)
-	nextWindow := s.opts.WindowCycles
-	for s.cycle = 0; s.cycle < s.opts.TotalCycles; s.cycle++ {
+	// No initialization of cycle/windows/nextWindow: a fresh simulator
+	// starts at zero and a Restore()d one resumes where the snapshot left
+	// off, so the same loop serves cold runs and checkpoint forks.
+	for ; s.cycle < s.opts.TotalCycles; s.cycle++ {
 		now := s.cycle
 
 		if s.pendDecision != nil && now >= s.pendAt {
@@ -535,8 +562,8 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		}
 
 		// Sampling window boundary.
-		if now+1 == nextWindow {
-			windows++
+		if now+1 == s.nextWindow {
+			s.windows++
 			// Settle fast-forwarded counters so the window telemetry is
 			// exact; quiescent cores stay skipped.
 			for ci := range s.cores {
@@ -553,10 +580,10 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 				s.opts.OnWindow(sample)
 			}
 			if s.obsw != nil {
-				s.obsw.window(s, sample, windows)
+				s.obsw.window(s, sample, s.windows)
 			}
 			s.newWindow()
-			nextWindow += s.opts.WindowCycles
+			s.nextWindow += s.opts.WindowCycles
 
 			// Resilience boundary: the fault seam may stall here (a stuck
 			// window), the watchdog heartbeat marks progress, and the
@@ -567,16 +594,23 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			if s.opts.Watchdog != nil {
 				s.opts.Watchdog.Pulse()
 			}
+			if s.opts.CkptSink != nil && !s.ckptDead {
+				s.atBoundary = true
+				if err := s.opts.CkptSink(s.windows, s); err != nil {
+					s.ckptDead = true
+				}
+				s.atBoundary = false
+			}
 			if done != nil {
 				select {
 				case <-done:
-					return s.partial(windows), ctx.Err()
+					return s.partial(s.windows), ctx.Err()
 				default:
 				}
 			}
 		}
 	}
-	return s.result(windows), nil
+	return s.result(s.windows), nil
 }
 
 // partial assembles the best-effort result of an interrupted run: the

@@ -51,3 +51,16 @@ func (r RunSpec) Canonical() RunSpec {
 	r.Scheme = r.Scheme.canonical(len(r.Apps))
 	return r
 }
+
+// PrefixCanonical returns the canonical run with TotalCycles cleared: the
+// value whose JSON encoding identifies the run's deterministic prefix.
+// Nothing in the engine reads TotalCycles except the cycle-loop bound, so
+// two runs whose PrefixCanonical forms are equal execute bit-identically
+// up to the shorter horizon — which is what makes a checkpoint written by
+// one a valid fork point for the other. WarmupCycles stays in the key:
+// the warmup accumulator snapshot is engine state a checkpoint carries.
+func (r RunSpec) PrefixCanonical() RunSpec {
+	r = r.Canonical()
+	r.TotalCycles = 0
+	return r
+}

@@ -29,6 +29,19 @@ func (r *RNG) Split(index uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (index+1)*0xBF58476D1CE4E5B9)
 }
 
+// State returns the raw generator state (engine checkpoints).
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores the raw generator state. The zero state is invalid
+// for xorshift and can only come from a corrupt snapshot; it is remapped
+// the same way NewRNG remaps a zero seed so the stream stays non-degenerate.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

@@ -140,6 +140,18 @@ func (c *Counter) Window() uint64 { return c.total - c.mark }
 // NewWindow starts a new sampling window.
 func (c *Counter) NewWindow() { c.mark = c.total }
 
+// CounterState is a Counter's serializable snapshot (engine checkpoints).
+type CounterState struct {
+	Total uint64
+	Mark  uint64
+}
+
+// State returns the counter's snapshot.
+func (c *Counter) State() CounterState { return CounterState{Total: c.total, Mark: c.mark} }
+
+// SetState restores the counter from a snapshot.
+func (c *Counter) SetState(st CounterState) { c.total, c.mark = st.Total, st.Mark }
+
 // MissRatio is a hit/miss counter pair exposing windowed miss rates.
 type MissRatio struct {
 	Accesses Counter
@@ -178,4 +190,21 @@ func (m *MissRatio) TotalRate() float64 {
 func (m *MissRatio) NewWindow() {
 	m.Accesses.NewWindow()
 	m.Misses.NewWindow()
+}
+
+// MissRatioState is a MissRatio's serializable snapshot.
+type MissRatioState struct {
+	Accesses CounterState
+	Misses   CounterState
+}
+
+// State returns the pair's snapshot.
+func (m *MissRatio) State() MissRatioState {
+	return MissRatioState{Accesses: m.Accesses.State(), Misses: m.Misses.State()}
+}
+
+// SetState restores the pair from a snapshot.
+func (m *MissRatio) SetState(st MissRatioState) {
+	m.Accesses.SetState(st.Accesses)
+	m.Misses.SetState(st.Misses)
 }

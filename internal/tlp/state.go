@@ -1,0 +1,130 @@
+package tlp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Stater is implemented by managers whose internal decision state can be
+// captured into and restored from an opaque byte string, which is what
+// lets a simulation be checkpointed mid-run and forked. A manager that
+// does not implement Stater cannot be checkpointed; the simulator reports
+// that as a snapshot error and callers degrade to cold execution.
+//
+// StateBytes must not mutate the manager, and SetStateBytes must leave a
+// freshly Initial()-ed manager in a state that continues bit-identically
+// to the captured one.
+type Stater interface {
+	StateBytes() ([]byte, error)
+	SetStateBytes(b []byte) error
+}
+
+// EncodeState gob-encodes a manager state mirror (shared helper for the
+// Stater implementations here and in internal/core).
+func EncodeState(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState gob-decodes a manager state mirror.
+func DecodeState(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// StateBytes implements Stater: static policies carry no mutable state.
+func (s *Static) StateBytes() ([]byte, error) { return nil, nil }
+
+// SetStateBytes implements Stater.
+func (s *Static) SetStateBytes(b []byte) error {
+	if len(b) != 0 {
+		return fmt.Errorf("tlp: static manager restored with %d bytes of state", len(b))
+	}
+	return nil
+}
+
+// modState mirrors the mutable fields shared by the vote-hysteresis
+// managers (DynCTA, CCWS).
+type modState struct {
+	Votes  []int
+	TLP    []int
+	Bypass []bool
+}
+
+// StateBytes implements Stater.
+func (d *DynCTA) StateBytes() ([]byte, error) {
+	return EncodeState(modState{Votes: d.votes, TLP: d.cur.TLP, Bypass: d.cur.BypassL1})
+}
+
+// SetStateBytes implements Stater.
+func (d *DynCTA) SetStateBytes(b []byte) error {
+	var st modState
+	if err := DecodeState(b, &st); err != nil {
+		return fmt.Errorf("tlp: dyncta state: %w", err)
+	}
+	d.votes = st.Votes
+	d.cur = Decision{TLP: st.TLP, BypassL1: st.Bypass}
+	return nil
+}
+
+// StateBytes implements Stater.
+func (c *CCWS) StateBytes() ([]byte, error) {
+	return EncodeState(modState{Votes: c.votes, TLP: c.cur.TLP, Bypass: c.cur.BypassL1})
+}
+
+// SetStateBytes implements Stater.
+func (c *CCWS) SetStateBytes(b []byte) error {
+	var st modState
+	if err := DecodeState(b, &st); err != nil {
+		return fmt.Errorf("tlp: ccws state: %w", err)
+	}
+	c.votes = st.Votes
+	c.cur = Decision{TLP: st.TLP, BypassL1: st.Bypass}
+	return nil
+}
+
+// modBypassState mirrors ModBypass: the wrapped modulator's state plus the
+// bypass probation machine.
+type modBypassState struct {
+	Mod         []byte
+	ProbeActive []bool
+	Votes       []int
+	Windows     []int
+	TLP         []int
+	Bypass      []bool
+}
+
+// StateBytes implements Stater.
+func (m *ModBypass) StateBytes() ([]byte, error) {
+	mod, err := m.mod.StateBytes()
+	if err != nil {
+		return nil, err
+	}
+	return EncodeState(modBypassState{
+		Mod:         mod,
+		ProbeActive: m.probeActive,
+		Votes:       m.votes,
+		Windows:     m.windows,
+		TLP:         m.cur.TLP,
+		Bypass:      m.cur.BypassL1,
+	})
+}
+
+// SetStateBytes implements Stater.
+func (m *ModBypass) SetStateBytes(b []byte) error {
+	var st modBypassState
+	if err := DecodeState(b, &st); err != nil {
+		return fmt.Errorf("tlp: mod+bypass state: %w", err)
+	}
+	if err := m.mod.SetStateBytes(st.Mod); err != nil {
+		return err
+	}
+	m.probeActive = st.ProbeActive
+	m.votes = st.Votes
+	m.windows = st.Windows
+	m.cur = Decision{TLP: st.TLP, BypassL1: st.Bypass}
+	return nil
+}
