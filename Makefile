@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all verify race chaos bench obs-bench figs-bench ckpt-bench test build
+.PHONY: all verify race chaos bench obs-bench figs-bench ckpt-bench \
+    trace-bench cover test build
 
 all: verify
 
@@ -23,7 +24,7 @@ verify:
 		else echo "staticcheck not installed; skipping"; fi
 	$(GO) test ./...
 	$(GO) test -race ./internal/runner/... ./internal/resilience/... \
-	    ./internal/ckpt/...
+	    ./internal/ckpt/... ./internal/obs/...
 
 # race runs the short test suite under the race detector (the grid builder
 # and profiler are the only concurrent paths).
@@ -75,3 +76,27 @@ ckpt-bench:
 	$(GO) run ./cmd/benchdiff -pkgs . \
 	    -bench 'CkptSweep' -benchtime 1x -count 3 -out BENCH_6.json \
 	    -maxratio 'BenchmarkCkptSweepForked/BenchmarkCkptSweepCold=0.5'
+
+# trace-bench enforces the span-tracing + provenance overhead contract
+# (DESIGN.md §12): a cold grid sweep with a live tracer and ledger must
+# stay within 5% of the uninstrumented sweep, measured in the same run.
+# The plain/traced timings are snapshotted into BENCH_7.json.
+trace-bench:
+	$(GO) run ./cmd/benchdiff -pkgs . \
+	    -bench 'TraceSweep' -benchtime 1x -count 3 -out BENCH_7.json \
+	    -maxratio 'BenchmarkTraceSweepTraced/BenchmarkTraceSweepPlain=1.05'
+
+# cover prints per-package statement coverage and enforces a floor on
+# internal/obs, whose span/ledger/exposition paths this repo's explain
+# workflow leans on.
+OBS_COVER_FLOOR ?= 80.0
+cover:
+	@$(GO) test -cover ./... | tee /tmp/ebm_cover.txt
+	@obs=$$(awk '$$2 == "ebm/internal/obs" { for (i=1;i<=NF;i++) if ($$i ~ /^coverage:/) { sub("%","",$$(i+1)); print $$(i+1) } }' /tmp/ebm_cover.txt); \
+	if [ -z "$$obs" ]; then echo "cover: no coverage line for internal/obs"; exit 1; fi; \
+	ok=$$(awk -v c="$$obs" -v f="$(OBS_COVER_FLOOR)" 'BEGIN { print (c+0 >= f+0) ? 1 : 0 }'); \
+	if [ "$$ok" != 1 ]; then \
+	    echo "cover: internal/obs coverage $$obs% is below the $(OBS_COVER_FLOOR)% floor"; exit 1; \
+	else \
+	    echo "cover: internal/obs coverage $$obs% meets the $(OBS_COVER_FLOOR)% floor"; \
+	fi

@@ -13,7 +13,9 @@ package ebm_test
 //	go test -bench=. -benchmem -benchtime=1x
 
 import (
+	"context"
 	"io"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -402,5 +404,64 @@ func BenchmarkWarpStream(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Current()
 		s.Advance()
+	}
+}
+
+// --- Span tracing + provenance overhead (DESIGN.md §12). ---
+
+// benchTraceGrid builds the 36-cell static grid cold at a short horizon
+// into a fresh result cache, under whatever tracer the context carries
+// and whatever ledger the cache carries.
+func benchTraceGrid(b *testing.B, ctx context.Context, cache *simcache.Cache) {
+	b.Helper()
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	wl := workload.MustMake("BLK", "TRD")
+	if _, err := search.BuildGrid(ctx, wl.Apps, search.GridOptions{
+		Config:       cfg,
+		Levels:       []int{1, 2, 4, 8, 16, 24},
+		TotalCycles:  20_000,
+		WarmupCycles: 2_000,
+		Cache:        cache,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTraceSweepPlain measures the cold grid sweep with no tracer
+// and no ledger — the uninstrumented baseline.
+func BenchmarkTraceSweepPlain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cache, err := simcache.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTraceGrid(b, context.Background(), cache)
+	}
+}
+
+// BenchmarkTraceSweepTraced is the same cold sweep with the full
+// observability stack on: a span tracer on the context and a provenance
+// ledger on the cache, both live for every cell. The Makefile's
+// trace-bench target asserts this stays at most 1.05x of the plain
+// benchmark (the DESIGN.md §12 overhead contract: spans and provenance
+// are orchestration-granularity and never measurable on a real sweep).
+func BenchmarkTraceSweepTraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cache, err := simcache.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ledger, err := obs.OpenLedger(filepath.Join(b.TempDir(), "ledger.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.SetLedger(ledger)
+		ctx := obs.WithTracer(context.Background(), obs.NewTracer())
+		benchTraceGrid(b, ctx, cache)
+		if err := ledger.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

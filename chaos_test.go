@@ -141,6 +141,13 @@ func TestChaosGridBuildSurvivesFaultsAndResumes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ledgerPath := filepath.Join(t.TempDir(), "ledger.jsonl")
+	ledger, err := obs.OpenLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ledger.Close() })
+	cache1.SetLedger(ledger)
 	inj := faultinject.New(faultinject.Config{
 		Seed:              11,
 		CacheReadErrProb:  0.3,
@@ -177,6 +184,27 @@ func TestChaosGridBuildSurvivesFaultsAndResumes(t *testing.T) {
 		t.Fatalf("injector crashed %d tasks, want exactly 1", c.Panics)
 	}
 	assertNoTornEntries(t, dir)
+	// The provenance ledger is the faulty build's honest confession: every
+	// completed run appended a whole record, and the injected cache faults
+	// and the retries they provoked are visible in those records.
+	recs, skipped, err := obs.ReadLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("faulty build tore %d ledger lines", skipped)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no provenance records from the faulty build")
+	}
+	var faults, retries int
+	for _, r := range recs {
+		faults += len(r.Faults)
+		retries += r.Retries
+	}
+	if faults == 0 && retries == 0 {
+		t.Fatal("30% cache fault probability left no trace in any provenance record")
+	}
 
 	// Act 2: a real SIGINT lands mid-build. The notify context is exactly
 	// what the sweep binary runs under.

@@ -18,7 +18,11 @@
 // Observability: -listen serves live Prometheus metrics on /metrics,
 // -trace writes the per-window CSV time series, -chrometrace writes a
 // Chrome trace-event file for chrome://tracing (see DESIGN.md §7 and the
-// README's "Watching a run live").
+// README's "Watching a run live"). -trace-spans writes the orchestration
+// span tree as a Chrome-trace flamechart, and -ledger appends one
+// provenance record per run satisfied through the result cache
+// (DESIGN.md §12). The -listen mux also exposes net/http/pprof under
+// /debug/pprof/.
 //
 // Performance diagnosis: -cpuprofile and -memprofile write pprof profiles
 // of the run (inspect with `go tool pprof`); see DESIGN.md's Performance
@@ -95,6 +99,8 @@ func run(ctx context.Context) error {
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 		chaos     = fs.Bool("chaos", false, "inject deterministic faults (cache I/O errors, stalls) and guard the run with a watchdog")
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the -chaos fault injector")
+		ledgerF   = fs.String("ledger", "", "append one provenance record per completed cached run to this JSONL `file` (needs -simcache)")
+		spansF    = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
@@ -107,12 +113,57 @@ func run(ctx context.Context) error {
 
 	cfg := config.Default()
 
+	// -trace-spans: the tracer rides ctx through profiling, the cached
+	// run, and the retry/watchdog layers; the span tree is written as a
+	// Chrome-trace flamechart at exit.
+	if *spansF != "" {
+		tracer := obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+		var root *obs.Span
+		ctx, root = obs.StartSpan(ctx, "ebsim", obs.A("workload", *wlName))
+		defer func() {
+			root.End()
+			f, err := os.Create(*spansF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ebsim:", err)
+				return
+			}
+			werr := obs.WriteSpanTrace(f, tracer)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "ebsim:", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ebsim: wrote %d spans to %s\n", tracer.Len(), *spansF)
+		}()
+	}
+
 	var rcache *simcache.Cache
 	if *simc != "" {
 		rcache, err = simcache.Open(*simc)
 		if err != nil {
 			return err
 		}
+	}
+	// -ledger: provenance hangs off the result-cache handle; observed runs
+	// (-trace/-chrometrace/-listen) bypass the cache and so leave no
+	// records.
+	if *ledgerF != "" {
+		if rcache == nil {
+			return cli.Usagef("-ledger needs -simcache")
+		}
+		l, err := obs.OpenLedger(*ledgerF)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "ebsim: %d provenance records appended to %s\n",
+				l.Appends(), *ledgerF)
+		}()
+		rcache.SetLedger(l)
 	}
 	var store *ckpt.Store
 	if *ckptOn {

@@ -34,6 +34,7 @@ import (
 	"ebm/internal/ckpt"
 	"ebm/internal/cli"
 	"ebm/internal/experiments"
+	"ebm/internal/obs"
 	"ebm/internal/workload"
 )
 
@@ -52,6 +53,8 @@ func run(ctx context.Context) error {
 		ckptDir = fs.String("ckpt-dir", "ckpt", "prefix-checkpoint store directory (with -ckpt)")
 		ckptMax = fs.Int64("ckpt-max-bytes", 0, "checkpoint store byte cap, oldest evicted first (0 = unbounded)")
 		out     = fs.String("out", "", "directory to also write one text file per experiment")
+		ledgerF = fs.String("ledger", "", "append one provenance record per completed run to this JSONL `file` (needs -simcache)")
+		spansF  = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
@@ -68,6 +71,48 @@ func run(ctx context.Context) error {
 	}
 
 	opt := experiments.Options{ProfileCache: *cache, SimCache: *simc}
+	// -trace-spans: the tracer rides ctx into NewEnv and every experiment
+	// below it; the finished span tree is written as a flamechart at exit.
+	if *spansF != "" {
+		tracer := obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+		var root *obs.Span
+		ctx, root = obs.StartSpan(ctx, "paperfigs")
+		defer func() {
+			root.End()
+			f, err := os.Create(*spansF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs:", err)
+				return
+			}
+			werr := obs.WriteSpanTrace(f, tracer)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs:", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "paperfigs: wrote %d spans to %s\n", tracer.Len(), *spansF)
+		}()
+	}
+	// -ledger: provenance records flow through the environment's simcache
+	// handle, so the cache is a prerequisite.
+	if *ledgerF != "" {
+		if *simc == "" {
+			return cli.Usagef("-ledger needs -simcache")
+		}
+		l, err := obs.OpenLedger(*ledgerF)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "paperfigs: %d provenance records appended to %s\n",
+				l.Appends(), *ledgerF)
+		}()
+		opt.Ledger = l
+	}
 	if *ckptOn {
 		store, err := ckpt.Open(*ckptDir)
 		if err != nil {

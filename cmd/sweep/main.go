@@ -27,7 +27,19 @@
 // deepest snapshot sharing its deterministic prefix, so even the cold part
 // of a sweep is sub-linear; -ckpt-max-bytes caps the store (oldest
 // checkpoints evicted first). The exit report counts simulations computed,
-// replayed from cache, and forked from checkpoints. SIGINT/SIGTERM triggers exactly that interruption
+// replayed from cache, and forked from checkpoints.
+//
+// Provenance and tracing: with -simcache on, every completed run appends
+// one JSON record to a ledger beside the cache directory (-ledger;
+// default auto, empty disables) capturing how it was satisfied — cached,
+// forked@depth, or cold — plus retries, injected faults, and cost.
+// `sweep -explain` reads that ledger back and prints the summary
+// (outcome counts, retry/fault totals, slowest runs) without simulating.
+// -trace-spans writes the orchestration span tree (sweep → profiling /
+// grid cells → cache get/put → execute) as a Chrome trace-event
+// flamechart for chrome://tracing.
+//
+// SIGINT/SIGTERM triggers exactly that interruption
 // gracefully — in-flight simulations abort at their next window boundary,
 // the pool drains, finished combinations stay persisted, and a resumable
 // state report is printed before exiting 130. A second signal kills the
@@ -84,9 +96,41 @@ func run(ctx context.Context) error {
 		listen   = fs.String("listen", "", "serve live sweep-progress metrics on this address, e.g. :8080")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to `file`")
+		ledgerF  = fs.String("ledger", "auto",
+			"run-provenance ledger appended one JSON record per completed run "+
+				"(auto = ledger.jsonl beside the -simcache directory; empty disables)")
+		spansF  = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
+		explain = fs.Bool("explain", false, "read the -ledger file and print a provenance summary instead of sweeping")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+
+	// "auto" ties the ledger's lifetime to the simcache it explains: the
+	// file lands beside the cache directory, so the pair travels together.
+	ledgerPath := *ledgerF
+	if ledgerPath == "auto" {
+		ledgerPath = ""
+		if *simc != "" {
+			ledgerPath = filepath.Join(filepath.Dir(*simc), "ledger.jsonl")
+		}
+	}
+
+	// -explain is a reader mode: summarize the ledger a previous sweep
+	// appended and exit without simulating anything.
+	if *explain {
+		if ledgerPath == "" {
+			return cli.Usagef("-explain needs a -ledger file (or -simcache for the auto default)")
+		}
+		recs, skipped, err := obs.ReadLedger(ledgerPath)
+		if err != nil {
+			return err
+		}
+		sum := obs.SummarizeLedger(recs, 10)
+		sum.Skipped = skipped
+		fmt.Printf("provenance ledger %s\n", ledgerPath)
+		sum.WriteText(os.Stdout)
+		return nil
 	}
 
 	out := io.Writer(os.Stdout)
@@ -145,6 +189,35 @@ func run(ctx context.Context) error {
 		}()
 	}
 
+	// -trace-spans: a tracer rides the context through every layer below;
+	// the root "sweep" span parents profiling, the grid build, and the
+	// scheme runs, and the finished tree is written as a Chrome-trace
+	// flamechart at exit (lanes = concurrent workers).
+	var tracer *obs.Tracer
+	if *spansF != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+		var root *obs.Span
+		ctx, root = obs.StartSpan(ctx, "sweep", obs.A("workload", *wlName))
+		defer func() {
+			root.End()
+			f, err := os.Create(*spansF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				return
+			}
+			werr := obs.WriteSpanTrace(f, tracer)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "sweep: wrote %d spans to %s\n", tracer.Len(), *spansF)
+		}()
+	}
+
 	cfg := config.Default()
 	wl, ok := workload.ByName(*wlName)
 	if !ok || len(wl.Apps) != 2 {
@@ -162,6 +235,27 @@ func run(ctx context.Context) error {
 		rcache, err = simcache.Open(*simc)
 		if err != nil {
 			return err
+		}
+	}
+	// The provenance ledger hangs off the cache handle: every completed
+	// run appends one JSON record (fingerprint, scheme, cached / forked /
+	// cold, retries, faults, cost) that `sweep -explain` later summarizes.
+	var ledger *obs.Ledger
+	if ledgerPath != "" {
+		if rcache == nil {
+			fmt.Fprintln(os.Stderr, "sweep: -ledger needs -simcache; provenance disabled")
+		} else {
+			l, err := obs.OpenLedger(ledgerPath)
+			if err != nil {
+				return err
+			}
+			ledger = l
+			defer ledger.Close()
+			defer func() {
+				fmt.Fprintf(os.Stderr, "sweep: %d provenance records appended to %s\n",
+					ledger.Appends(), ledgerPath)
+			}()
+			rcache.SetLedger(ledger)
 		}
 	}
 	// The checkpoint store makes even the *cold* part of a sweep

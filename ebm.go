@@ -7,6 +7,7 @@ import (
 	pbscore "ebm/internal/core"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
+	"ebm/internal/obs"
 	"ebm/internal/profile"
 	"ebm/internal/runner"
 	"ebm/internal/search"
@@ -14,7 +15,6 @@ import (
 	"ebm/internal/simcache"
 	"ebm/internal/spec"
 	"ebm/internal/tlp"
-	"ebm/internal/trace"
 	"ebm/internal/workload"
 )
 
@@ -258,11 +258,11 @@ var (
 )
 
 // Recorder captures per-window time series (Fig. 11).
-type Recorder = trace.Recorder
+type Recorder = obs.Recorder
 
 // NewRecorder builds a Recorder for numApps applications; install its Hook
 // as RunOptions.OnWindow.
-func NewRecorder(numApps int) *Recorder { return trace.NewRecorder(numApps) }
+func NewRecorder(numApps int) *Recorder { return obs.NewRecorder(numApps) }
 
 // Runner is the process-wide bounded simulation executor: a priority
 // queue with singleflight dedup that profiles, grids, and evaluations

@@ -378,9 +378,17 @@ func (st *Store) evictLocked() {
 // one (the degradation ladder), and exhausting them is a miss.
 // Concurrent callers asking for the same file share one read.
 func (st *Store) Best(key string, maxWindow uint64) (payload []byte, window uint64, ok bool) {
+	return st.best(context.Background(), key, maxWindow)
+}
+
+// best is Best with the caller's context, whose provenance trail
+// records injected read faults and whose tracer times the ladder walk.
+func (st *Store) best(ctx context.Context, key string, maxWindow uint64) (payload []byte, window uint64, ok bool) {
 	if st == nil {
 		return nil, 0, false
 	}
+	_, sp := obs.StartSpan(ctx, "ckpt.best", obs.A("key", key))
+	defer sp.End()
 	type cand struct {
 		name   string
 		window uint64
@@ -405,6 +413,7 @@ func (st *Store) Best(key string, maxWindow uint64) (payload []byte, window uint
 	for _, c := range cands {
 		if h := st.hooks; h != nil {
 			if err := h.CacheRead(c.name); err != nil {
+				obs.TrailFrom(ctx).AddFault("ckpt-read")
 				st.corrupt.Add(1)
 				continue
 			}
@@ -423,8 +432,10 @@ func (st *Store) Best(key string, maxWindow uint64) (payload []byte, window uint
 		}
 		st.hits.Add(1)
 		st.hitC.Inc()
+		sp.Annotate("window", strconv.FormatUint(c.window, 10))
 		return p, c.window, true
 	}
+	sp.Annotate("miss", "true")
 	st.misses.Add(1)
 	st.missC.Inc()
 	return nil, 0, false
@@ -438,6 +449,7 @@ func (st *Store) persist(ctx context.Context, key string, window uint64, payload
 		return st.Put(key, window, payload)
 	})
 	if err != nil {
+		obs.TrailFrom(ctx).AddFault("ckpt-write")
 		st.writeFails.Add(1)
 		Warnf("ckpt: warning: checkpoint %s w%d not persisted: %v", key, window, err)
 	}
@@ -496,6 +508,8 @@ func ExecuteWith(ctx context.Context, st *Store, rs spec.RunSpec, mutate func(*s
 		if err != nil {
 			return sim.Result{}, err
 		}
+		_, ssp := obs.StartSpan(ctx, "simulate", obs.A("from", "cold"))
+		defer ssp.End()
 		return s.RunContext(ctx)
 	}
 	key := PrefixKey(rs)
@@ -511,11 +525,13 @@ func ExecuteWith(ctx context.Context, st *Store, rs spec.RunSpec, mutate func(*s
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if payload, _, ok := st.Best(key, totalWindows); ok {
+	from := "cold"
+	if payload, window, ok := st.best(ctx, key, totalWindows); ok {
 		if rerr := s.RestoreBytes(payload); rerr != nil {
 			// The envelope was intact but the payload was not (or came
 			// from an incompatible engine): the simulator may be half
 			// restored, so rebuild it and run cold.
+			obs.TrailFrom(ctx).AddFault("ckpt-restore")
 			st.corrupt.Add(1)
 			s, err = sim.New(opts)
 			if err != nil {
@@ -524,8 +540,12 @@ func ExecuteWith(ctx context.Context, st *Store, rs spec.RunSpec, mutate func(*s
 		} else {
 			st.forks.Add(1)
 			st.forkC.Inc()
+			obs.TrailFrom(ctx).SetForked(window, SchemaVersion)
+			from = fmt.Sprintf("forked@%d", window)
 		}
 	}
+	_, ssp := obs.StartSpan(ctx, "simulate", obs.A("from", from))
+	defer ssp.End()
 	return s.RunContext(ctx)
 }
 

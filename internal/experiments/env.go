@@ -15,6 +15,7 @@ import (
 	"ebm/internal/config"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
+	"ebm/internal/obs"
 	"ebm/internal/profile"
 	"ebm/internal/runner"
 	"ebm/internal/search"
@@ -63,6 +64,11 @@ type Options struct {
 	// Runner is the execution pool simulations are submitted to. Nil
 	// means the process-wide runner.Default().
 	Runner *runner.Runner
+
+	// Ledger, when non-nil, receives one provenance record per completed
+	// cached run — profiles, grid cells, and evaluation runs alike
+	// (requires SimCache; the ledger hangs off the result cache handle).
+	Ledger *obs.Ledger
 }
 
 func (o *Options) fillDefaults() {
@@ -127,6 +133,7 @@ func NewEnv(ctx context.Context, opt Options) (*Env, error) {
 		if err != nil {
 			return nil, err
 		}
+		cache.SetLedger(opt.Ledger)
 	}
 	suite, err := profile.LoadOrProfile(ctx, opt.ProfileCache, kernel.All(), profile.Options{
 		Config:       opt.Config,
@@ -186,7 +193,9 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 		if ok {
 			return g, nil
 		}
-		g, err := buildGrid(e.ctx, w.Apps, search.GridOptions{
+		gctx, gsp := obs.StartSpan(e.ctx, "env-grid", obs.A("workload", w.Name))
+		defer gsp.End()
+		g, err := buildGrid(gctx, w.Apps, search.GridOptions{
 			Config:       e.Opt.Config,
 			TotalCycles:  e.Opt.GridCycles,
 			WarmupCycles: e.Opt.GridWarmup,
@@ -330,6 +339,8 @@ func FigureSchemes(bestTLPs []int) map[string]spec.SchemeSpec {
 // combinations discovered by the searches are re-run at evaluation length;
 // online schemes run with full overheads.
 func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
+	_, sp := obs.StartSpan(e.ctx, "eval-workload", obs.A("workload", w.Name))
+	defer sp.End()
 	aloneIPC, aloneEB, bestTLPs, err := e.Alone(w)
 	if err != nil {
 		return nil, err

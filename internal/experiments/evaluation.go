@@ -6,10 +6,10 @@ import (
 	"sync"
 
 	"ebm/internal/metrics"
+	"ebm/internal/obs"
 	"ebm/internal/search"
 	"ebm/internal/sim"
 	"ebm/internal/spec"
-	"ebm/internal/trace"
 	"ebm/internal/workload"
 )
 
@@ -174,7 +174,7 @@ func Fig11(e *Env, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rec := trace.NewRecorder(len(wl.Apps))
+		rec := obs.NewRecorder(len(wl.Apps))
 		rec.SearchingFn = mgr.Searching
 		// Twice the evaluation horizon so kernel-relaunch restarts (and
 		// the re-sampling periods around them) are visible.
@@ -195,7 +195,7 @@ func Fig11(e *Env, w io.Writer) error {
 		fmt.Fprintf(w, "\n--- %s ---\n", variant.name)
 		for app := range wl.Apps {
 			fmt.Fprintf(w, "\nTLP-%s over time (bar height = TLP, max 24):\n%s",
-				wl.Apps[app].Name, trace.RenderASCII(rec.TLP[app], 24, 24))
+				wl.Apps[app].Name, obs.RenderASCII(rec.TLP[app], 24, 24))
 		}
 		searching := 0
 		for _, p := range rec.Searching.Points {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"time"
 )
 
 // ChromeTraceOptions configures the trace-event rendering.
@@ -11,6 +13,10 @@ type ChromeTraceOptions struct {
 	// AppNames label the per-application tracks; missing entries fall
 	// back to "app N".
 	AppNames []string
+	// Tracer, when non-nil, adds its finished spans as flamechart tracks
+	// on a separate "orchestration" process (wall-clock microseconds;
+	// the journal tracks above are in cycles).
+	Tracer *Tracer
 }
 
 // traceEvent is one entry of the Chrome trace-event JSON format
@@ -32,6 +38,10 @@ const (
 	tidWindows = 0
 	tidEvents  = 1
 	tidPhases  = 2
+
+	// spanPid hosts the orchestration span tracks, far above the
+	// per-application counter processes (pid = app+1).
+	spanPid = 9999
 )
 
 // WriteChromeTrace renders the journal as Chrome trace-event JSON:
@@ -126,6 +136,91 @@ func WriteChromeTrace(w io.Writer, j *Journal, opts ChromeTraceOptions) error {
 		})
 	}
 
+	if opts.Tracer != nil {
+		if spans := opts.Tracer.Spans(); len(spans) > 0 {
+			meta(spanPid, "orchestration")
+			out = appendSpanEvents(out, spans)
+		}
+	}
+
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// WriteSpanTrace renders a tracer's spans alone as Chrome trace-event
+// JSON — the `-trace-spans` artifact: one flamechart track per logical
+// worker, wall-clock microseconds.
+func WriteSpanTrace(w io.Writer, t *Tracer) error {
+	return WriteChromeTrace(w, nil, ChromeTraceOptions{Tracer: t})
+}
+
+// packSpanLanes assigns each span a track ("lane") such that within a
+// lane spans either nest or do not overlap — which is exactly what the
+// Chrome trace viewer needs to draw X events as a flame stack. Spans of
+// one worker's call chain contain each other and share a lane; spans of
+// concurrent workers overlap without containment and spill onto fresh
+// lanes, yielding one flamechart track per worker with no goroutine
+// identity needed. Returns lane indices aligned with the sorted input.
+func packSpanLanes(spans []SpanData) []int {
+	lanes := make([]int, len(spans))
+	// stacks[l] holds the open (containing) spans of lane l, innermost
+	// last; a span fits the lane if the innermost still-open span fully
+	// contains it, or the lane has drained.
+	var stacks [][]SpanData
+	for i, s := range spans {
+		placed := false
+		for l := range stacks {
+			st := stacks[l]
+			for len(st) > 0 && st[len(st)-1].End <= s.Start {
+				st = st[:len(st)-1]
+			}
+			if len(st) == 0 || st[len(st)-1].End >= s.End {
+				stacks[l] = append(st, s)
+				lanes[i] = l
+				placed = true
+				break
+			}
+			stacks[l] = st
+		}
+		if !placed {
+			stacks = append(stacks, []SpanData{s})
+			lanes[i] = len(stacks) - 1
+		}
+	}
+	return lanes
+}
+
+func appendSpanEvents(out []traceEvent, spans []SpanData) []traceEvent {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].End > spans[j].End // longer (containing) spans first
+	})
+	lanes := packSpanLanes(spans)
+	for i, s := range spans {
+		var args map[string]any
+		if len(s.Attrs) > 0 {
+			args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+		}
+		ev := traceEvent{
+			Name: s.Name,
+			Ts:   uint64(s.Start.Microseconds()),
+			Pid:  spanPid, Tid: lanes[i],
+			Args: args,
+		}
+		// Anything under the format's microsecond resolution would render
+		// as a zero-width X sliver; point events (watchdog trips) and
+		// sub-microsecond spans stay visible as instants instead.
+		if d := s.Dur(); d < time.Microsecond {
+			ev.Ph, ev.S = "i", "t"
+		} else {
+			ev.Ph, ev.Dur = "X", uint64(d.Microseconds())
+		}
+		out = append(out, ev)
+	}
+	return out
 }

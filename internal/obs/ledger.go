@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LedgerSchemaVersion stamps every record so a reader can reject lines
+// written by an incompatible future layout. Bump it when RunRecord's
+// meaning (not just its optional fields) changes.
+const LedgerSchemaVersion = 1
+
+// Run outcomes as recorded in the provenance ledger.
+const (
+	OutcomeCached = "cached" // served from the result cache (or a singleflight predecessor)
+	OutcomeCold   = "cold"   // simulated from cycle zero
+	OutcomeForked = "forked" // simulated from a restored prefix checkpoint
+)
+
+// RunRecord is one line of the provenance ledger: the full transaction
+// record of one completed run — what was asked for, how it was
+// satisfied, and what it cost. This is the wire-visible unit a future
+// coordinator/worker sweep service streams to clients.
+type RunRecord struct {
+	LedgerSchema int    `json:"ledger_schema"`
+	CacheSchema  int    `json:"cache_schema"`
+	CkptSchema   int    `json:"ckpt_schema,omitempty"` // set when the run forked
+	Fingerprint  string `json:"fingerprint"`           // simcache key of the run
+	Scheme       string `json:"scheme"`                // canonical scheme flag string
+	Apps         string `json:"apps,omitempty"`        // underscore-joined workload name
+
+	Outcome    string   `json:"outcome"`               // cached | cold | forked
+	ForkWindow uint64   `json:"fork_window,omitempty"` // restore depth for forked runs
+	Retries    int      `json:"retries,omitempty"`     // retried transient I/O failures
+	Faults     []string `json:"faults,omitempty"`      // injected/observed fault labels
+
+	Cycles uint64 `json:"cycles"`  // simulated core cycles in the result
+	WallNs int64  `json:"wall_ns"` // wall-clock cost of satisfying the run
+}
+
+// OutcomeString renders the outcome in the ledger's display form:
+// "cached", "cold", or "forked@<window>".
+func (r RunRecord) OutcomeString() string {
+	if r.Outcome == OutcomeForked {
+		return fmt.Sprintf("forked@%d", r.ForkWindow)
+	}
+	return r.Outcome
+}
+
+// Ledger is an append-only JSONL file of RunRecords, one line per
+// completed run, written beside the simcache directory. Appends are
+// atomic: the file is opened O_APPEND and each record is a single
+// Write of one newline-terminated line, so concurrent appenders (even
+// across processes) interleave whole records, never fragments. A nil
+// *Ledger drops every Append, so call sites need no "is provenance
+// on?" branches.
+type Ledger struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	appends atomic.Uint64
+}
+
+// OpenLedger opens (creating if needed) the ledger at path for
+// appending.
+func OpenLedger(path string) (*Ledger, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: ledger %s: %w", path, err)
+	}
+	return &Ledger{f: f, path: path}, nil
+}
+
+// Path returns the ledger file path ("" for a nil ledger).
+func (l *Ledger) Path() string {
+	if l == nil {
+		return ""
+	}
+	return l.path
+}
+
+// Appends returns how many records this handle has written.
+func (l *Ledger) Appends() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.appends.Load()
+}
+
+// Append writes one record (stamping LedgerSchema) as a single line.
+func (l *Ledger) Append(r RunRecord) error {
+	if l == nil {
+		return nil
+	}
+	r.LedgerSchema = LedgerSchemaVersion
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("obs: ledger marshal: %w", err)
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	_, err = l.f.Write(b)
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("obs: ledger append: %w", err)
+	}
+	l.appends.Add(1)
+	return nil
+}
+
+// Close releases the underlying file.
+func (l *Ledger) Close() error {
+	if l == nil {
+		return nil
+	}
+	return l.f.Close()
+}
+
+// ReadLedger parses a ledger file, skipping (and counting) lines that
+// are torn, garbled, or carry a foreign schema — a reader tolerates a
+// crashed writer the same way the result cache tolerates a torn entry.
+func ReadLedger(path string) (recs []RunRecord, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("obs: ledger %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r RunRecord
+		if json.Unmarshal(line, &r) != nil || r.LedgerSchema != LedgerSchemaVersion || r.Fingerprint == "" {
+			skipped++
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if serr := sc.Err(); serr != nil {
+		return recs, skipped, fmt.Errorf("obs: ledger %s: %w", path, serr)
+	}
+	return recs, skipped, nil
+}
+
+// LedgerSummary is the aggregate view `sweep -explain` prints: outcome
+// counts, retry/fault totals, and the slowest runs.
+type LedgerSummary struct {
+	Records int
+	Cached  int
+	Cold    int
+	Forked  int
+	Skipped int // unreadable ledger lines
+
+	Retries int
+	Faults  int
+
+	Cycles  uint64
+	WallNs  int64
+	Slowest []RunRecord // top-k by wall cost, descending
+}
+
+// SummarizeLedger aggregates records into the -explain view, keeping the
+// topK slowest runs (<= 0 keeps none).
+func SummarizeLedger(recs []RunRecord, topK int) LedgerSummary {
+	s := LedgerSummary{Records: len(recs)}
+	for _, r := range recs {
+		switch r.Outcome {
+		case OutcomeCached:
+			s.Cached++
+		case OutcomeForked:
+			s.Forked++
+		default:
+			s.Cold++
+		}
+		s.Retries += r.Retries
+		s.Faults += len(r.Faults)
+		s.Cycles += r.Cycles
+		s.WallNs += r.WallNs
+	}
+	if topK > 0 {
+		sorted := append([]RunRecord(nil), recs...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].WallNs > sorted[j].WallNs })
+		if len(sorted) > topK {
+			sorted = sorted[:topK]
+		}
+		s.Slowest = sorted
+	}
+	return s
+}
+
+// WriteText renders the summary for humans (the `sweep -explain`
+// output).
+func (s LedgerSummary) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "runs: %d (%d cold / %d forked / %d cached)\n", s.Records, s.Cold, s.Forked, s.Cached)
+	fmt.Fprintf(w, "retries: %d  injected faults: %d\n", s.Retries, s.Faults)
+	fmt.Fprintf(w, "simulated cycles: %d  total wall: %s\n", s.Cycles, time.Duration(s.WallNs))
+	if s.Skipped > 0 {
+		fmt.Fprintf(w, "unreadable ledger lines skipped: %d\n", s.Skipped)
+	}
+	if len(s.Slowest) > 0 {
+		fmt.Fprintf(w, "slowest runs:\n")
+		for i, r := range s.Slowest {
+			apps := r.Apps
+			if apps == "" {
+				apps = "-"
+			}
+			fmt.Fprintf(w, "  %2d. %-10s %-24s %-12s %10s  %s\n",
+				i+1, apps, r.Scheme, r.OutcomeString(), time.Duration(r.WallNs).Round(time.Microsecond), r.Fingerprint)
+		}
+	}
+}
+
+// Trail is the per-run provenance collector: the execution layers below
+// RunCached (checkpoint forking, retry policies, fault-injected I/O)
+// mark what actually happened on the trail riding the run's context,
+// and RunCached folds it into the ledger record. All methods are
+// nil-safe, so layers annotate unconditionally.
+type Trail struct {
+	mu         sync.Mutex
+	executed   bool
+	forked     bool
+	forkWindow uint64
+	ckptSchema int
+	retries    int
+	faults     []string
+}
+
+type trailCtxKey struct{}
+
+// WithTrail attaches a fresh trail to the context and returns both.
+func WithTrail(ctx context.Context) (context.Context, *Trail) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := &Trail{}
+	return context.WithValue(ctx, trailCtxKey{}, t), t
+}
+
+// TrailFrom returns the context's trail, or nil.
+func TrailFrom(ctx context.Context) *Trail {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(trailCtxKey{}).(*Trail)
+	return t
+}
+
+// MarkExecuted records that the run actually simulated under this trail
+// (as opposed to being served from the cache or a singleflight
+// predecessor, whose closure ran under a different context).
+func (t *Trail) MarkExecuted() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.executed = true
+	t.mu.Unlock()
+}
+
+// SetForked records that the run restored a prefix checkpoint at the
+// given window, under the given checkpoint schema version.
+func (t *Trail) SetForked(window uint64, ckptSchema int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.forked = true
+	t.forkWindow = window
+	t.ckptSchema = ckptSchema
+	t.mu.Unlock()
+}
+
+// AddRetry counts one retried transient failure.
+func (t *Trail) AddRetry() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.retries++
+	t.mu.Unlock()
+}
+
+// AddFault records one injected/observed fault label (e.g. "cache-read").
+func (t *Trail) AddFault(label string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.faults = append(t.faults, label)
+	t.mu.Unlock()
+}
+
+// Fill folds the trail into a record: the outcome (cached unless this
+// trail's context executed the simulation; then cold or forked@window),
+// the fork depth and checkpoint schema, and the retry/fault tallies.
+func (t *Trail) Fill(r *RunRecord) {
+	r.Outcome = OutcomeCached
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.executed {
+		if t.forked {
+			r.Outcome = OutcomeForked
+			r.ForkWindow = t.forkWindow
+			r.CkptSchema = t.ckptSchema
+		} else {
+			r.Outcome = OutcomeCold
+		}
+	}
+	r.Retries = t.retries
+	if len(t.faults) > 0 {
+		r.Faults = append([]string(nil), t.faults...)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testRecord(fp, outcome string) RunRecord {
+	return RunRecord{
+		CacheSchema: 2, Fingerprint: fp, Scheme: "static:4,8",
+		Apps: "BLK_TRD", Outcome: outcome, Cycles: 100_000, WallNs: 5_000_000,
+	}
+}
+
+func TestLedgerAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := testRecord("aaaa", OutcomeCold)
+	cold.Retries = 2
+	cold.Faults = []string{"cache-read", "cache-read"}
+	forked := testRecord("bbbb", OutcomeForked)
+	forked.ForkWindow = 3
+	forked.CkptSchema = 1
+	for _, r := range []RunRecord{cold, forked, testRecord("cccc", OutcomeCached)} {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Appends() != 3 || l.Path() != path {
+		t.Fatalf("Appends=%d Path=%s", l.Appends(), l.Path())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(recs) != 3 {
+		t.Fatalf("recs=%d skipped=%d", len(recs), skipped)
+	}
+	if recs[0].LedgerSchema != LedgerSchemaVersion {
+		t.Fatalf("schema not stamped: %+v", recs[0])
+	}
+	if recs[0].Retries != 2 || len(recs[0].Faults) != 2 {
+		t.Fatalf("cold record lost provenance: %+v", recs[0])
+	}
+	if got := recs[1].OutcomeString(); got != "forked@3" {
+		t.Fatalf("OutcomeString = %q", got)
+	}
+	if recs[1].CkptSchema != 1 {
+		t.Fatalf("forked record lost ckpt schema: %+v", recs[1])
+	}
+	if recs[2].OutcomeString() != OutcomeCached {
+		t.Fatalf("cached record = %+v", recs[2])
+	}
+}
+
+func TestReadLedgerSkipsCorruptAndForeignLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecord("good", OutcomeCold)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// A torn line, a foreign schema, and a record with no fingerprint —
+	// all must be skipped, not fail the read.
+	junk := `{"ledger_schema":1,"fingerprint":"to` + "\n" +
+		`{"ledger_schema":99,"fingerprint":"future","outcome":"cold"}` + "\n" +
+		`{"ledger_schema":1,"outcome":"cold"}` + "\n" +
+		"\n"
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(junk)
+	f.Close()
+
+	recs, skipped, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Fingerprint != "good" {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if skipped != 3 { // the blank line is ignored silently, not counted
+		t.Fatalf("skipped = %d, want 3", skipped)
+	}
+}
+
+func TestLedgerConcurrentAppendsInterleaveWholeRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r := testRecord(fmt.Sprintf("w%d-%d", w, i), OutcomeCold)
+				if err := l.Append(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	l.Close()
+	recs, skipped, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(recs) != writers*each {
+		t.Fatalf("recs=%d skipped=%d, want %d/0", len(recs), skipped, writers*each)
+	}
+}
+
+func TestNilLedgerIsSafe(t *testing.T) {
+	var l *Ledger
+	if err := l.Append(testRecord("x", OutcomeCold)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Appends() != 0 || l.Path() != "" || l.Close() != nil {
+		t.Fatal("nil ledger must absorb everything")
+	}
+}
+
+func TestSummarizeLedgerCountsAndTopK(t *testing.T) {
+	var recs []RunRecord
+	for i := 0; i < 4; i++ {
+		r := testRecord(fmt.Sprintf("cold%d", i), OutcomeCold)
+		r.WallNs = int64(i+1) * 1000
+		r.Retries = 1
+		recs = append(recs, r)
+	}
+	fk := testRecord("fk", OutcomeForked)
+	fk.ForkWindow = 7
+	fk.WallNs = 10_000
+	fk.Faults = []string{"ckpt-read"}
+	hit := testRecord("hit", OutcomeCached)
+	hit.WallNs = 1 // replayed from disk: effectively free
+	recs = append(recs, fk, hit)
+
+	s := SummarizeLedger(recs, 2)
+	if s.Records != 6 || s.Cold != 4 || s.Forked != 1 || s.Cached != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Retries != 4 || s.Faults != 1 {
+		t.Fatalf("retries=%d faults=%d", s.Retries, s.Faults)
+	}
+	if len(s.Slowest) != 2 || s.Slowest[0].Fingerprint != "fk" || s.Slowest[1].Fingerprint != "cold3" {
+		t.Fatalf("slowest = %+v", s.Slowest)
+	}
+	if SummarizeLedger(recs, 0).Slowest != nil {
+		t.Fatal("topK=0 must keep no slowest runs")
+	}
+}
+
+func TestLedgerSummaryWriteText(t *testing.T) {
+	warm := []RunRecord{testRecord("a", OutcomeCached), testRecord("b", OutcomeCached)}
+	s := SummarizeLedger(warm, 1)
+	s.Skipped = 1
+	var b strings.Builder
+	s.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"runs: 2 (0 cold / 0 forked / 2 cached)",
+		"retries: 0  injected faults: 0",
+		"unreadable ledger lines skipped: 1",
+		"slowest runs:",
+		"static:4,8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrailLifecycle(t *testing.T) {
+	// Default: a trail nobody marked is a cache hit.
+	ctx, trail := WithTrail(context.Background())
+	if TrailFrom(ctx) != trail {
+		t.Fatal("TrailFrom lost the trail")
+	}
+	var r RunRecord
+	trail.Fill(&r)
+	if r.Outcome != OutcomeCached {
+		t.Fatalf("unmarked trail outcome = %q", r.Outcome)
+	}
+
+	// Executed without a fork: cold, with the tallies copied over.
+	trail.MarkExecuted()
+	trail.AddRetry()
+	trail.AddRetry()
+	trail.AddFault("cache-write")
+	r = RunRecord{}
+	trail.Fill(&r)
+	if r.Outcome != OutcomeCold || r.Retries != 2 || len(r.Faults) != 1 {
+		t.Fatalf("cold fill = %+v", r)
+	}
+
+	// Forked: outcome carries the restore depth and ckpt schema.
+	trail.SetForked(5, 1)
+	r = RunRecord{}
+	trail.Fill(&r)
+	if r.Outcome != OutcomeForked || r.ForkWindow != 5 || r.CkptSchema != 1 {
+		t.Fatalf("forked fill = %+v", r)
+	}
+}
+
+func TestNilTrailIsSafe(t *testing.T) {
+	var trail *Trail
+	trail.MarkExecuted()
+	trail.SetForked(1, 1)
+	trail.AddRetry()
+	trail.AddFault("x")
+	var r RunRecord
+	trail.Fill(&r)
+	if r.Outcome != OutcomeCached {
+		t.Fatalf("nil trail fill = %+v", r)
+	}
+	if TrailFrom(context.Background()) != nil {
+		t.Fatal("plain context must carry no trail")
+	}
+}

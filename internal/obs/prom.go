@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -79,8 +80,10 @@ type Server struct {
 }
 
 // Serve starts an HTTP server on addr exposing the registry at /metrics
-// (the root path redirects there). It returns once the listener is bound,
-// with requests served on a background goroutine; Close shuts it down.
+// (the root path redirects there) and the standard pprof profiles under
+// /debug/pprof/, so a live sweep can be profiled without restarting it
+// with -cpuprofile. It returns once the listener is bound, with requests
+// served on a background goroutine; Close shuts it down.
 func Serve(addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -88,6 +91,11 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/", http.RedirectHandler("/metrics", http.StatusFound))
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExpositionEscapesAwkwardLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ebm_runs_total", "runs", L("scheme", `ccws:hivta=0.2`)).Set(1)
+	r.Gauge("ebm_odd", "odd values",
+		L("path", `C:\tmp\"x"`), L("msg", "line1\nline2")).Set(3)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ebm_runs_total{scheme="ccws:hivta=0.2"} 1`,
+		`ebm_odd{path="C:\\tmp\\\"x\"",msg="line1\nline2"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Escaped values must never introduce raw newlines inside a sample
+	// line — every line stays "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") < 1 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestHelpNewlinesFlattened(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "first\nsecond").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# HELP c first second\n") {
+		t.Fatalf("HELP not flattened:\n%s", b.String())
+	}
+}
+
+func TestLabeledHistogramBucketRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ebm_lat", "latency", []float64{1, 10}, L("app", "0"), L("kind", "grid"))
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// le must be spliced INTO the existing label set, and sum/count keep
+	// the base labels untouched.
+	for _, want := range []string{
+		`ebm_lat_bucket{app="0",kind="grid",le="1"} 1`,
+		`ebm_lat_bucket{app="0",kind="grid",le="10"} 2`,
+		`ebm_lat_bucket{app="0",kind="grid",le="+Inf"} 3`,
+		`ebm_lat_sum{app="0",kind="grid"} 55.5`,
+		`ebm_lat_count{app="0",kind="grid"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeLabels(t *testing.T) {
+	if got := mergeLabels("", `le="1"`); got != `{le="1"}` {
+		t.Fatalf("empty base: %s", got)
+	}
+	if got := mergeLabels(`{a="b"}`, `le="+Inf"`); got != `{a="b",le="+Inf"}` {
+		t.Fatalf("spliced: %s", got)
+	}
+}
+
+// TestScrapeDuringPublish drives the real HTTP handler while publishers
+// hammer every metric type — the -race build is the assertion.
+func TestScrapeDuringPublish(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c", "", L("w", string(rune('a'+w))))
+			g := r.Gauge("g", "", L("w", string(rune('a'+w))))
+			h := r.Histogram("h", "", []float64{1, 2}, L("w", string(rune('a'+w))))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 4))
+			}
+		}(w)
+	}
+	for i := 0; i < 25; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Fatalf("scrape %d: status=%d len=%d", i, resp.StatusCode, len(body))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServeExposesPprof(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

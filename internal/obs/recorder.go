@@ -1,9 +1,4 @@
-// Package trace records per-window time series from a simulation run —
-// the data behind Fig. 11 (TLP choices over time under PBS) and any other
-// longitudinal view. CSV export of run time series lives in internal/obs
-// (WriteWindowsCSV, replaying the event journal); this package keeps the
-// in-memory series and the ASCII renderer used by the figure binaries.
-package trace
+package obs
 
 import (
 	"fmt"
@@ -12,7 +7,7 @@ import (
 	"ebm/internal/tlp"
 )
 
-// Point is one windowed observation.
+// Point is one windowed observation of a run time series.
 type Point struct {
 	Cycle uint64
 	Value float64
@@ -30,7 +25,10 @@ func (s *Series) Add(cycle uint64, v float64) {
 }
 
 // Recorder collects per-application TLP, EB, and bandwidth series from
-// sampling windows; Hook is installed as sim.Options.OnWindow.
+// sampling windows — the data behind Fig. 11 (TLP choices over time
+// under PBS) and any other longitudinal view. Install Hook as
+// sim.Options.OnWindow. (Formerly internal/trace; it lives here with
+// the rest of the run-observation machinery.)
 type Recorder struct {
 	TLP      []Series // per app
 	EB       []Series

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndRecording(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("sweep", A("workload", "BLK_TRD"))
+	child := root.Child("cell")
+	grand := child.Child("execute")
+	grand.End()
+	child.Annotate("outcome", "cold")
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	// Completion order: innermost first.
+	g, c, r := spans[0], spans[1], spans[2]
+	if g.Name != "execute" || c.Name != "cell" || r.Name != "sweep" {
+		t.Fatalf("span order = %s,%s,%s", g.Name, c.Name, r.Name)
+	}
+	if r.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", r.Parent)
+	}
+	if c.Parent != r.ID || g.Parent != c.ID {
+		t.Fatalf("parent chain broken: %d<-%d<-%d", r.ID, c.Parent, g.Parent)
+	}
+	// Intervals nest: parent contains child.
+	if c.Start > g.Start || c.End < g.End || r.Start > c.Start || r.End < c.End {
+		t.Fatal("child interval not contained in parent")
+	}
+	if r.Dur() < 0 {
+		t.Fatalf("negative duration %v", r.Dur())
+	}
+	found := false
+	for _, a := range c.Attrs {
+		if a.Key == "outcome" && a.Value == "cold" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Annotate lost: %v", c.Attrs)
+	}
+}
+
+func TestSpanEndIdempotentAndAnnotateAfterEnd(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("x")
+	s.End()
+	s.Annotate("late", "1") // must not land
+	s.End()                 // must not double-record
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if attrs := tr.Spans()[0].Attrs; len(attrs) != 0 {
+		t.Fatalf("attrs after End = %v", attrs)
+	}
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x", A("k", "v"))
+	if s != nil {
+		t.Fatal("nil tracer must start nil spans")
+	}
+	// Entire chain is absorbing.
+	s.Child("y").Annotate("a", "b")
+	s.Child("y").End()
+	s.End()
+	tr.Instant("z")
+	tr.SetLimit(1)
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must read empty")
+	}
+}
+
+func TestStartSpanWithoutTracerIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("span without tracer")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan must return the context unchanged")
+	}
+	Instant(ctx, "nothing") // must not panic
+	if TracerFrom(nil) != nil || SpanFrom(nil) != nil {
+		t.Fatal("nil context lookups must be nil")
+	}
+}
+
+func TestStartSpanContextPropagation(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "run")
+	cctx, child := StartSpan(ctx, "cache.get")
+	if SpanFrom(cctx) != child || SpanFrom(ctx) != root {
+		t.Fatal("context span mismatch")
+	}
+	child.End()
+	// A sibling started from the same parent ctx nests under root, not
+	// under the finished child.
+	_, sib := StartSpan(ctx, "cache.put")
+	sib.End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	rootID := spans[2].ID
+	if spans[0].Parent != rootID || spans[1].Parent != rootID {
+		t.Fatalf("siblings must share the root parent: %+v", spans)
+	}
+}
+
+func TestInstantRecordsZeroDurationChild(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "run")
+	Instant(ctx, "watchdog-trip", A("label", "cell"))
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	trip := spans[0]
+	if trip.Name != "watchdog-trip" || trip.Parent != spans[1].ID {
+		t.Fatalf("instant span = %+v", trip)
+	}
+}
+
+func TestSpanLimitDropsBeyondCap(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(2)
+	for i := 0; i < 5; i++ {
+		tr.Start("s").End()
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/3", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := StartSpan(ctx, "cell")
+				_, in := StartSpan(c, "execute")
+				in.End()
+				sp.Annotate("i", "x")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 8*50*2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), 8*50*2)
+	}
+}
+
+func TestPackSpanLanesSeparatesWorkers(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// Sorted by Start asc, End desc — the order appendSpanEvents feeds.
+	spans := []SpanData{
+		{Name: "A-outer", Start: ms(0), End: ms(100)},
+		{Name: "A-inner", Start: ms(10), End: ms(90)},
+		{Name: "B-outer", Start: ms(50), End: ms(150)}, // overlaps A without nesting
+		{Name: "A-next", Start: ms(120), End: ms(140)}, // A's lane has drained
+	}
+	lanes := packSpanLanes(spans)
+	want := []int{0, 0, 1, 0}
+	for i := range want {
+		if lanes[i] != want[i] {
+			t.Fatalf("lanes = %v, want %v", lanes, want)
+		}
+	}
+}
+
+func TestWriteSpanTraceJSON(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "sweep", A("workload", "BLK_TRD"))
+	cctx, cell := StartSpan(ctx, "cell")
+	time.Sleep(time.Millisecond) // give the X events non-zero microseconds
+	Instant(cctx, "watchdog-trip")
+	cell.End()
+	root.End()
+
+	var b strings.Builder
+	if err := WriteSpanTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var xs, is, metas int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			xs++
+			if e["pid"].(float64) != spanPid {
+				t.Fatalf("span event on pid %v", e["pid"])
+			}
+		case "i":
+			is++
+		case "M":
+			if e["args"].(map[string]any)["name"] == "orchestration" {
+				metas++
+			}
+		}
+	}
+	if xs != 2 || is != 1 || metas != 1 {
+		t.Fatalf("X=%d i=%d orchestration-M=%d, want 2/1/1", xs, is, metas)
+	}
+	if !strings.Contains(b.String(), `"workload":"BLK_TRD"`) {
+		t.Fatalf("attrs missing from args:\n%s", b.String())
+	}
+}
+
+func TestWriteSpanTraceEmptyTracer(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSpanTrace(&b, NewTracer()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// Only the machine process meta from the (nil) journal side.
+	for _, e := range doc.TraceEvents {
+		if e["pid"].(float64) == spanPid {
+			t.Fatalf("span event from an empty tracer: %v", e)
+		}
+	}
+}

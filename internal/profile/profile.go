@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"ebm/internal/ckpt"
 	"ebm/internal/config"
 	"ebm/internal/kernel"
+	"ebm/internal/obs"
 	"ebm/internal/resilience"
 	"ebm/internal/runner"
 	"ebm/internal/sim"
@@ -114,6 +116,9 @@ func AloneRun(ctx context.Context, app kernel.Params, tlpLevel int, opts Options
 		TotalCycles:  opts.TotalCycles,
 		WarmupCycles: opts.WarmupCycles,
 	}
+	ctx, sp := obs.StartSpan(ctx, "alone",
+		obs.A("app", app.Name), obs.A("tlp", strconv.Itoa(tlpLevel)))
+	defer sp.End()
 	return simcache.RunCached(ctx, opts.Cache, opts.Runner, runner.PriProfile, rs, ckpt.Runner(opts.Ckpt, rs))
 }
 
@@ -194,6 +199,8 @@ func ProfileSuite(ctx context.Context, apps []kernel.Params, opts Options) (*Sui
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, sp := obs.StartSpan(ctx, "profile-suite", obs.A("apps", strconv.Itoa(len(apps))))
+	defer sp.End()
 	s := &Suite{Profiles: make(map[string]*AppProfile, len(apps))}
 
 	profiles := make([]*AppProfile, len(apps))

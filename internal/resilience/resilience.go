@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -155,12 +156,17 @@ func (p Policy) Retry(ctx context.Context, label string, mon *Monitor, fn func()
 			return err
 		}
 		mon.CacheRetry(label, attempt, err)
+		obs.TrailFrom(ctx).AddRetry()
+		_, sp := obs.StartSpan(ctx, "retry",
+			obs.A("label", label), obs.A("attempt", strconv.Itoa(attempt)))
 		t := time.NewTimer(p.delay(attempt, rng))
 		select {
 		case <-ctx.Done():
 			t.Stop()
+			sp.End()
 			return ctx.Err()
 		case <-t.C:
+			sp.End()
 		}
 	}
 }
@@ -271,6 +277,7 @@ func (w *Watchdog) Guard(parent context.Context) (context.Context, context.Cance
 				if time.Since(last) > w.deadline {
 					w.tripped.Store(true)
 					w.mon.WatchdogTrip(w.label)
+					obs.Instant(ctx, "watchdog-trip", obs.A("label", w.label))
 					if w.onTrip != nil {
 						w.onTrip()
 					}

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -196,6 +197,11 @@ func (r *Runner) Do(ctx context.Context, key string, pri int, fn Task) (any, err
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The pool span covers queue wait plus execution (or the wait on a
+	// deduplicated predecessor) — the gap between it and the nested
+	// execute span is time spent queued.
+	_, sp := obs.StartSpan(ctx, "pool.do", obs.A("key", key), obs.A("pri", strconv.Itoa(pri)))
+	defer sp.End()
 	if r == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -216,6 +222,7 @@ func (r *Runner) Do(ctx context.Context, key string, pri int, fn Task) (any, err
 			r.mu.Unlock()
 			r.deduped.Add(1)
 			r.dedupC.Inc()
+			sp.Annotate("shared", "true")
 			select {
 			case <-c.done:
 				return c.val, c.err

@@ -14,12 +14,15 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"ebm/internal/ckpt"
 	"ebm/internal/config"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
+	"ebm/internal/obs"
 	"ebm/internal/runner"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
@@ -152,6 +155,14 @@ func BuildGrid(ctx context.Context, apps []kernel.Params, opts GridOptions) (*Gr
 	combos := g.Combos()
 	g.Results = make([]sim.Result, len(combos))
 
+	names := make([]string, len(apps))
+	for i := range apps {
+		names[i] = apps[i].Name
+	}
+	ctx, gsp := obs.StartSpan(ctx, "grid-build",
+		obs.A("workload", strings.Join(names, "_")), obs.A("cells", strconv.Itoa(len(combos))))
+	defer gsp.End()
+
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
@@ -172,7 +183,9 @@ func BuildGrid(ctx context.Context, apps []kernel.Params, opts GridOptions) (*Gr
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, runErr := runCombo(ctx, apps, combos[idx], opts)
+			cctx, csp := obs.StartSpan(ctx, "cell", obs.A("combo", fmt.Sprint(combos[idx])))
+			res, runErr := runCombo(cctx, apps, combos[idx], opts)
+			csp.End()
 			mu.Lock()
 			defer mu.Unlock()
 			if runErr != nil {

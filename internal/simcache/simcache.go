@@ -31,7 +31,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"ebm/internal/faultinject"
 	"ebm/internal/obs"
@@ -126,6 +128,31 @@ type Cache struct {
 	hooks faultinject.Hooks
 	retry resilience.Policy
 	mon   *resilience.Monitor
+
+	// ledger, when set via SetLedger, receives one provenance record per
+	// completed RunCached call (nil-safe).
+	ledger *obs.Ledger
+}
+
+// SetLedger installs the run-provenance ledger: every completed
+// RunCached call through this handle appends one RunRecord describing
+// how the run was satisfied (cached / forked@depth / cold), its retries
+// and injected faults, and its cost. Call before submitting work; nil
+// is the default (no provenance).
+func (c *Cache) SetLedger(l *obs.Ledger) {
+	if c == nil {
+		return
+	}
+	c.ledger = l
+}
+
+// Ledger returns the installed provenance ledger (nil when provenance
+// is off or the cache handle is nil).
+func (c *Cache) Ledger() *obs.Ledger {
+	if c == nil {
+		return nil
+	}
+	return c.ledger
 }
 
 // SetHooks installs the fault-injection seam (chaos tests, ebsim
@@ -170,11 +197,15 @@ func (c *Cache) Path(key string) string {
 }
 
 // Get returns the cached result for key, if a valid entry exists.
-func (c *Cache) Get(key string) (sim.Result, bool) { return c.get(key, true) }
+func (c *Cache) Get(key string) (sim.Result, bool) {
+	return c.get(context.Background(), key, true)
+}
 
-// get is Get with the miss counting optional: RunCached's inner re-check
-// would otherwise record a second miss for every simulation it runs.
-func (c *Cache) get(key string, countMiss bool) (sim.Result, bool) {
+// get is Get with the miss counting optional (RunCached's inner
+// re-check would otherwise record a second miss for every simulation it
+// runs) and with the caller's context, whose provenance trail records
+// injected read faults.
+func (c *Cache) get(ctx context.Context, key string, countMiss bool) (sim.Result, bool) {
 	if c == nil {
 		return sim.Result{}, false
 	}
@@ -182,6 +213,7 @@ func (c *Cache) get(key string, countMiss bool) (sim.Result, bool) {
 		if err := h.CacheRead(key); err != nil {
 			// An unreadable entry degrades exactly like a corrupt one: a
 			// counted miss that falls through to direct execution.
+			obs.TrailFrom(ctx).AddFault("cache-read")
 			c.corrupt.Add(1)
 			if countMiss {
 				c.misses.Add(1)
@@ -312,10 +344,29 @@ func (c *Cache) persist(ctx context.Context, key string, r sim.Result) {
 		return c.Put(key, r)
 	})
 	if err != nil {
+		obs.TrailFrom(ctx).AddFault("cache-write")
 		c.writeFails.Add(1)
 		c.writeFailC.Inc()
 		Warnf("simcache: warning: result %s computed but not persisted: %v", key, err)
 	}
+}
+
+// ledgerRecord folds one completed run into its provenance record.
+func ledgerRecord(rs spec.RunSpec, key string, trail *obs.Trail, res sim.Result, wall time.Duration) obs.RunRecord {
+	names := make([]string, len(rs.Apps))
+	for i := range rs.Apps {
+		names[i] = rs.Apps[i].Name
+	}
+	rec := obs.RunRecord{
+		CacheSchema: SchemaVersion,
+		Fingerprint: key,
+		Scheme:      rs.Scheme.String(),
+		Apps:        strings.Join(names, "_"),
+		Cycles:      res.Cycles,
+		WallNs:      wall.Nanoseconds(),
+	}
+	trail.Fill(&rec)
+	return rec
 }
 
 // RunCached executes a simulation through the shared layers: serve from
@@ -338,30 +389,64 @@ func RunCached(ctx context.Context, c *Cache, r *runner.Runner, pri int, rs spec
 		run = func(ctx context.Context) (sim.Result, error) { return sim.Execute(ctx, rs) }
 	}
 	key := Key(rs)
-	if res, ok := c.Get(key); ok {
+	ctx, sp := obs.StartSpan(ctx, "run", obs.A("key", key), obs.A("scheme", rs.Scheme.String()))
+	defer sp.End()
+	// The trail rides the run's context: the layers below (checkpoint
+	// forking, retry policies, fault-injected I/O) mark what happened,
+	// and the completed run folds it into one ledger record. A dedup
+	// waiter's closure runs under the first submitter's context, so its
+	// own trail stays un-executed and its record reads "cached" — one
+	// honest record per RunCached call, one execution per singleflight.
+	var trail *obs.Trail
+	if c.Ledger() != nil {
+		ctx, trail = obs.WithTrail(ctx)
+	}
+	start := time.Now()
+	gs := sp.Child("cache.get")
+	if res, ok := c.get(ctx, key, true); ok {
+		gs.End()
+		sp.Annotate("outcome", obs.OutcomeCached)
+		if trail != nil {
+			c.ledger.Append(ledgerRecord(rs, key, trail, res, time.Since(start)))
+		}
 		return res, nil
 	}
+	gs.End()
 	if r == nil {
 		r = runner.Default()
 	}
 	v, err := r.Do(ctx, "sim:"+key, pri, func() (any, error) {
 		// A concurrent process (or a deduplicated predecessor in this
 		// one) may have persisted the entry since the first lookup.
-		if res, ok := c.get(key, false); ok {
+		if res, ok := c.get(ctx, key, false); ok {
 			return res, nil
 		}
-		res, err := run(ctx)
+		obs.TrailFrom(ctx).MarkExecuted()
+		ectx, es := obs.StartSpan(ctx, "execute")
+		res, err := run(ectx)
+		es.End()
 		if err != nil {
 			return nil, err
 		}
+		_, ps := obs.StartSpan(ctx, "cache.put")
 		c.persist(ctx, key, res)
+		ps.End()
 		return res, nil
 	})
 	if err != nil {
+		sp.Annotate("error", err.Error())
 		if c != nil && ctx.Err() != nil {
 			c.mon.RunCancelled("sim:" + key)
 		}
 		return sim.Result{}, err
 	}
-	return v.(sim.Result), nil
+	res := v.(sim.Result)
+	if trail != nil {
+		rec := ledgerRecord(rs, key, trail, res, time.Since(start))
+		sp.Annotate("outcome", rec.OutcomeString())
+		c.ledger.Append(rec)
+	} else {
+		sp.Annotate("outcome", "run")
+	}
+	return res, nil
 }
