@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all verify race chaos bench obs-bench figs-bench ckpt-bench \
-    trace-bench cover test build
+    trace-bench search-bench cover test build
 
 all: verify
 
@@ -24,7 +24,7 @@ verify:
 		else echo "staticcheck not installed; skipping"; fi
 	$(GO) test ./...
 	$(GO) test -race ./internal/runner/... ./internal/resilience/... \
-	    ./internal/ckpt/... ./internal/obs/...
+	    ./internal/ckpt/... ./internal/obs/... ./internal/search/...
 
 # race runs the short test suite under the race detector (the grid builder
 # and profiler are the only concurrent paths).
@@ -85,6 +85,17 @@ trace-bench:
 	$(GO) run ./cmd/benchdiff -pkgs . \
 	    -bench 'TraceSweep' -benchtime 1x -count 3 -out BENCH_7.json \
 	    -maxratio 'BenchmarkTraceSweepTraced/BenchmarkTraceSweepPlain=1.05'
+
+# search-bench enforces the adaptive-search contract (DESIGN.md §13): the
+# coarse-to-fine successive-halving search over a cold 64-cell TLP grid
+# must take at most 0.5x of the exhaustive sweep, measured in the same
+# run, while selecting the identical optimum. The exhaustive/adaptive
+# timings — and the ebm_cycles_simulated ratio, recorded as an extra
+# simcycles/op unit — are snapshotted into BENCH_8.json.
+search-bench:
+	$(GO) run ./cmd/benchdiff -pkgs . \
+	    -bench 'AdaptiveVsExhaustive' -benchtime 1x -count 3 -out BENCH_8.json \
+	    -maxratio 'BenchmarkAdaptiveVsExhaustive/adaptive:BenchmarkAdaptiveVsExhaustive/exhaustive=0.5'
 
 # cover prints per-package statement coverage and enforces a floor on
 # internal/obs, whose span/ledger/exposition paths this repo's explain

@@ -328,6 +328,104 @@ func BenchmarkCkptSweepForked(b *testing.B) {
 	}
 }
 
+// --- Adaptive coarse-to-fine TLP search (DESIGN.md §13). ---
+
+// benchSearchSetup is the shared shape of the search benchmarks: the
+// reduced machine, the BLK_TRD workload, the paper's full eight-level
+// ladder (64 cells exhaustively), and a 50,000-cycle full horizon.
+func benchSearchSetup() (config.GPU, workload.Workload, []int, uint64, uint64) {
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	return cfg, workload.MustMake("BLK", "TRD"), ebm.TLPLevels(), 50_000, 2_000
+}
+
+// benchAloneIPC derives positive per-app "alone" IPCs from the max-TLP
+// cell, the same shortcut the search tests use: it gives the
+// slowdown-based objective a realistic peaked surface without profiling
+// the full alone suite. Runs before the timed sub-benchmarks.
+func benchAloneIPC(b *testing.B, cfg config.GPU, wl workload.Workload, levels []int, total, warmup uint64) []float64 {
+	b.Helper()
+	g, err := search.BuildGrid(nil, wl.Apps, search.GridOptions{
+		Config:       cfg,
+		Levels:       levels[len(levels)-1:],
+		TotalCycles:  total,
+		WarmupCycles: warmup,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxC := make([]int, len(wl.Apps))
+	for i := range maxC {
+		maxC[i] = levels[len(levels)-1]
+	}
+	r, err := g.At(maxC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ipc := r.IPCsInto(nil)
+	for i := range ipc {
+		if ipc[i] <= 0 {
+			ipc[i] = 1e-6
+		}
+	}
+	return ipc
+}
+
+// BenchmarkAdaptiveVsExhaustive contrasts the two offline searches for
+// the same optimum — the paper's optWS pick, maximizing SD-based weighted
+// speedup — both fully cold per iteration. The exhaustive side simulates
+// every grid cell at the full horizon; the adaptive side runs the
+// coarse-to-fine successive-halving search against a fresh checkpoint
+// store (rung continuations fork instead of replaying). Both report the
+// engine cycles actually executed as simcycles/op; the Makefile's
+// search-bench target asserts adaptive stays at most 0.5x of exhaustive
+// wall-clock and records the cycle ratio in BENCH_8.json.
+func BenchmarkAdaptiveVsExhaustive(b *testing.B) {
+	cfg, wl, levels, total, warmup := benchSearchSetup()
+	aloneIPC := benchAloneIPC(b, cfg, wl, levels, total, warmup)
+
+	b.Run("exhaustive", func(b *testing.B) {
+		eval := search.SDEval(ebm.ObjWS, aloneIPC)
+		work0 := sim.CyclesSimulated()
+		for i := 0; i < b.N; i++ {
+			g, err := search.BuildGrid(nil, wl.Apps, search.GridOptions{
+				Config:       cfg,
+				Levels:       levels,
+				TotalCycles:  total,
+				WarmupCycles: warmup,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Best(eval)
+		}
+		b.ReportMetric(float64(sim.CyclesSimulated()-work0)/float64(b.N), "simcycles/op")
+	})
+
+	b.Run("adaptive", func(b *testing.B) {
+		eval := search.SDEval(ebm.ObjWS, aloneIPC)
+		work0 := sim.CyclesSimulated()
+		for i := 0; i < b.N; i++ {
+			store, err := ckpt.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := search.Adaptive(nil, wl.Apps, eval, search.AdaptiveOptions{
+				Config:       cfg,
+				Levels:       levels,
+				TotalCycles:  total,
+				WarmupCycles: warmup,
+				Rungs:        4,
+				Ckpt:         store,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(sim.CyclesSimulated()-work0)/float64(b.N), "simcycles/op")
+	})
+}
+
 // --- Substrate microbenchmarks. ---
 
 // BenchmarkSimulatorCycles measures raw simulation speed: simulated core

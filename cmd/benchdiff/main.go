@@ -14,8 +14,12 @@
 // -maxratio asserts a ns/op ratio between two benchmarks of the same run
 // (numerator/denominator <= bound) and exits non-zero on violation; the
 // Makefile's obs-bench target uses it to hold the observability overhead
-// under 5%, and ckpt-bench to hold forked cold sweeps under half the
-// straight-cold time.
+// under 5%, ckpt-bench to hold forked cold sweeps under half the
+// straight-cold time, and search-bench to hold the adaptive TLP search
+// under half the exhaustive sweep. Sub-benchmark names contain '/', so
+// ':' also separates the pair: '-maxratio BenchX/fast:BenchX/slow=0.5'.
+// Custom ReportMetric units are recorded per benchmark under "extra" and
+// their ratios printed alongside the asserted one.
 //
 // -baseline diffs this run against any named BENCH_*.json as a single
 // line of new/old ns/op ratios — the compact form for commit messages
@@ -39,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -52,6 +57,9 @@ type Bench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. "simcycles/op",
+	// "cycles/s") keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the JSON layout of a snapshot.
@@ -148,7 +156,12 @@ func assertRatio(snap File, spec string) error {
 	if !ok {
 		return fmt.Errorf("bad -maxratio %q, want 'BenchA/BenchB=1.05'", spec)
 	}
-	num, den, ok := strings.Cut(names, "/")
+	// ':' separates names containing '/' (sub-benchmarks, e.g.
+	// 'BenchmarkX/fast:BenchmarkX/slow=0.5'); plain names may keep '/'.
+	num, den, ok := strings.Cut(names, ":")
+	if !ok {
+		num, den, ok = strings.Cut(names, "/")
+	}
 	if !ok {
 		return fmt.Errorf("bad -maxratio %q, want 'BenchA/BenchB=1.05'", spec)
 	}
@@ -184,6 +197,18 @@ func assertRatio(snap File, spec string) error {
 	}
 	ratio := nb.NsPerOp / db.NsPerOp
 	fmt.Printf("ratio %s/%s = %.4f (bound %.4f)\n", nb.Name, db.Name, ratio, bound)
+	// Custom units both sides report (e.g. simcycles/op) are informative
+	// context for the asserted wall-clock ratio, not themselves asserted.
+	units := make([]string, 0, len(nb.Extra))
+	for u := range nb.Extra {
+		if db.Extra[u] != 0 {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		fmt.Printf("ratio %s/%s [%s] = %.4f\n", nb.Name, db.Name, u, nb.Extra[u]/db.Extra[u])
+	}
 	if ratio > bound {
 		return fmt.Errorf("ratio %.4f exceeds bound %.4f", ratio, bound)
 	}
@@ -195,7 +220,7 @@ func assertRatio(snap File, spec string) error {
 //
 //	BenchmarkCycleTick-8   300000   3434 ns/op   2 B/op   0 allocs/op
 //
-// Unknown units (e.g. custom ReportMetric values) are ignored.
+// Unknown units (custom ReportMetric values) land in Bench.Extra.
 func parse(output []byte) []Bench {
 	var out []Bench
 	sc := bufio.NewScanner(bytes.NewReader(output))
@@ -225,6 +250,11 @@ func parse(output []byte) []Bench {
 				b.BytesPerOp = v
 			case "allocs/op":
 				b.AllocsPerOp = v
+			default:
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[f[i+1]] = v
 			}
 		}
 		out = append(out, b)

@@ -52,6 +52,7 @@ func run(ctx context.Context) error {
 		ckptOn  = fs.Bool("ckpt", false, "fork uncached simulations from prefix checkpoints")
 		ckptDir = fs.String("ckpt-dir", "ckpt", "prefix-checkpoint store directory (with -ckpt)")
 		ckptMax = fs.Int64("ckpt-max-bytes", 0, "checkpoint store byte cap, oldest evicted first (0 = unbounded)")
+		adapt   = fs.Bool("adaptive", false, "compute bestTLP/oracle columns via the adaptive coarse-to-fine search instead of exhaustive grids")
 		out     = fs.String("out", "", "directory to also write one text file per experiment")
 		ledgerF = fs.String("ledger", "", "append one provenance record per completed run to this JSONL `file` (needs -simcache)")
 		spansF  = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
@@ -70,7 +71,7 @@ func run(ctx context.Context) error {
 		return cli.Usagef("pass -id <experiment>, -all, or -list")
 	}
 
-	opt := experiments.Options{ProfileCache: *cache, SimCache: *simc}
+	opt := experiments.Options{ProfileCache: *cache, SimCache: *simc, Adaptive: *adapt}
 	// -trace-spans: the tracer rides ctx into NewEnv and every experiment
 	// below it; the finished span tree is written as a flamechart at exit.
 	if *spansF != "" {

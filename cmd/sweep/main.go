@@ -9,6 +9,17 @@
 //	sweep -workload BFS_FFT -cycles 200000
 //	sweep -workload BLK_TRD -schemes "dyncta pbs-ws ccws:hivta=0.2"
 //	sweep -workload BLK_TRD -o results/blk_trd.txt -listen :8080
+//	sweep -workload BLK_TRD -search adaptive -ckpt
+//
+// -search adaptive replaces the exhaustive grid with the coarse-to-fine
+// successive-halving search (DESIGN.md §13): every opt*/BF-*/maxIT pick
+// brackets the optimum on a subsampled TLP ladder and refines inside the
+// bracket, and candidates simulate short horizons first with the
+// dominated fraction pruned each rung — with -ckpt, survivors fork from
+// the previous rung's run-end checkpoint and pay only the tail cycles.
+// Surfaces are skipped (they need every cell); the PBS offline walks
+// read a lazy grid that simulates only the cells they touch. The exit
+// report counts pruned candidates and engine cycles actually simulated.
 //
 // The grid's combinations run concurrently; -parallel bounds the worker
 // count (default: all CPUs, runtime.NumCPU). Per-combination progress is
@@ -84,6 +95,10 @@ func run(ctx context.Context) error {
 		schemes = fs.String("schemes", "",
 			"also run these online schemes at grid length (whitespace-separated canonical "+
 				"scheme strings, e.g. 'dyncta pbs-ws ccws:hivta=0.2'; scheme grammar: "+spec.FlagHelp()+")")
+		searchMode = fs.String("search", "exhaustive",
+			"search strategy: exhaustive (build the full grid) or adaptive "+
+				"(coarse-to-fine successive halving with checkpoint-forked continuations; "+
+				"finds the same picks in a fraction of the engine work, skips surface printing)")
 		cycles   = fs.Uint64("cycles", 120_000, "cycles per combination")
 		warmup   = fs.Uint64("warmup", 20_000, "warmup cycles")
 		cache    = fs.String("cache", "profiles.json", "alone-profile cache (empty disables)")
@@ -154,14 +169,23 @@ func run(ctx context.Context) error {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
+	adaptive := *searchMode == "adaptive"
+	if !adaptive && *searchMode != "exhaustive" {
+		return cli.Usagef("unknown -search %q (want exhaustive or adaptive)", *searchMode)
+	}
+
 	start := time.Now()
-	sims := 0   // simulations actually executed this run
-	cached := 0 // results replayed from the on-disk cache
-	forked := 0 // simulations forked from a prefix checkpoint
+	work0 := sim.CyclesSimulated() // engine work before this sweep
+	sims := 0                      // simulations actually executed this run
+	cached := 0                    // results replayed from the on-disk cache
+	forked := 0                    // simulations forked from a prefix checkpoint
+	pruned := 0                    // adaptive-search candidates dropped mid-horizon
 	defer func() {
 		elapsed := time.Since(start)
-		fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%.1f sims/s), %d replayed from cache, %d forked from checkpoints\n",
-			sims, elapsed.Round(time.Millisecond), float64(sims)/elapsed.Seconds(), cached, forked)
+		fmt.Fprintf(os.Stderr, "sweep: %d simulations in %v (%.1f sims/s), %d replayed from cache, %d forked from checkpoints, %d pruned\n",
+			sims, elapsed.Round(time.Millisecond), float64(sims)/elapsed.Seconds(), cached, forked, pruned)
+		fmt.Fprintf(os.Stderr, "sweep: %d engine cycles simulated (cache hits and restored checkpoint prefixes excluded)\n",
+			sim.CyclesSimulated()-work0)
 	}()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -294,6 +318,7 @@ func run(ctx context.Context) error {
 		reg = obs.NewRegistry()
 		doneG = reg.Gauge("ebm_sweep_combos_done", "grid combinations simulated so far")
 		totalG = reg.Gauge("ebm_sweep_combos_total", "grid combinations in this sweep")
+		sim.InstrumentWork(reg) // ebm_cycles_simulated: work, not just progress
 		pool.Instrument(reg)
 		rcache.Instrument(reg)
 		store.Instrument(reg)
@@ -346,7 +371,7 @@ func run(ctx context.Context) error {
 	aloneEB, _ := suite.AloneEB(names)
 	bestTLPs, _ := suite.BestTLPs(names)
 
-	g, err := search.BuildGrid(ctx, wl.Apps, search.GridOptions{
+	gridOpts := search.GridOptions{
 		Config: cfg, TotalCycles: *cycles, WarmupCycles: *warmup,
 		Parallelism: *parallel,
 		Runner:      pool,
@@ -361,24 +386,61 @@ func run(ctx context.Context) error {
 				Done: done, Total: total, Label: fmt.Sprint(combo),
 			})
 		},
-	})
+	}
+	var g *search.Grid
+	if adaptive {
+		// -search adaptive: no up-front grid. The oracle picks below run
+		// the coarse-to-fine successive-halving search, and the lazy grid
+		// serves only the cells the reports and PBS offline walks touch
+		// (fills land in the same cache keys an exhaustive build uses).
+		g, err = search.NewLazyGrid(ctx, wl.Apps, gridOpts)
+	} else {
+		g, err = search.BuildGrid(ctx, wl.Apps, gridOpts)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			resumeReport("grid build")
 		}
 		return err
 	}
-	sims = len(g.Results)
-	if rcache != nil {
-		// Every executed simulation is persisted on completion, so the
-		// write count is the number of runs this invocation actually paid
-		// for; hits are cells (and profiles) replayed from disk.
-		s := rcache.Stats()
-		sims = int(s.Writes + s.WriteFails)
-		cached = int(s.Hits)
+	countRuns := func() {
+		sims = len(g.Results)
+		if rcache != nil {
+			// Every executed simulation is persisted on completion, so the
+			// write count is the number of runs this invocation actually paid
+			// for; hits are cells (and profiles) replayed from disk.
+			s := rcache.Stats()
+			sims = int(s.Writes + s.WriteFails)
+			cached = int(s.Hits)
+		}
+		if store != nil {
+			forked = int(store.Stats().Forks)
+		}
 	}
-	if store != nil {
-		forked = int(store.Stats().Forks)
+	countRuns()
+	defer countRuns() // adaptive mode keeps simulating after this point
+
+	// bestOf is the argmax strategy behind every opt*/BF-*/maxIT pick:
+	// the exhaustive grid scan, or the adaptive search sharing the same
+	// cache and checkpoint store.
+	bestOf := func(eval search.Eval) ([]int, error) {
+		if !adaptive {
+			c, _ := g.Best(eval)
+			return c, nil
+		}
+		res, err := search.Adaptive(ctx, wl.Apps, eval, search.AdaptiveOptions{
+			Config: cfg, TotalCycles: *cycles, WarmupCycles: *warmup,
+			Parallelism: *parallel, Runner: pool, Cache: rcache, Ckpt: store,
+			OnRung: func(r search.RungReport) {
+				fmt.Fprintf(os.Stderr, "sweep: adaptive %s rung @%d cycles: %d candidates survive, %d pruned\n",
+					r.Phase, r.Cycles, r.Survivors, r.Pruned)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pruned += len(res.Pruned)
+		return res.Combo, nil
 	}
 
 	surfaces := map[string]struct {
@@ -398,6 +460,12 @@ func run(ctx context.Context) error {
 		s, ok := surfaces[key]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "sweep: unknown surface %q\n", key)
+			continue
+		}
+		if adaptive {
+			// Printing a surface means simulating every cell — exactly the
+			// exhaustive work -search adaptive exists to avoid.
+			fmt.Fprintf(os.Stderr, "sweep: -search adaptive skips the %q surface (surfaces need the exhaustive grid)\n", key)
 			continue
 		}
 		fmt.Fprintf(out, "\n%s grid (rows: TLP-%s, cols: TLP-%s)\n       ", s.title, names[0], names[1])
@@ -447,7 +515,13 @@ func run(ctx context.Context) error {
 		{"BF-HS", search.EBEval(metrics.ObjHS, aloneEB)},
 		{"maxIT", surfaces["it"].eval},
 	} {
-		c, _ := g.Best(x.eval)
+		c, err := bestOf(x.eval)
+		if err != nil {
+			if ctx.Err() != nil {
+				resumeReport("search " + x.label)
+			}
+			return err
+		}
 		if err := report(x.label, c); err != nil {
 			return err
 		}

@@ -244,6 +244,22 @@ func BuildGrid(apps []App, opts GridOptions) (*Grid, error) {
 	return search.BuildGrid(context.Background(), apps, opts)
 }
 
+// AdaptiveOptions configures AdaptiveSearch.
+type AdaptiveOptions = search.AdaptiveOptions
+
+// AdaptiveResult is the outcome of one adaptive search.
+type AdaptiveResult = search.AdaptiveResult
+
+// AdaptiveSearch finds the eval-maximizing TLP combination without
+// building the exhaustive grid: a coarse pass brackets the optimum on a
+// subsampled ladder, a refine pass searches inside the bracket, and
+// candidates are pruned by successive halving over short horizons
+// (continuations fork from checkpoints when opts.Ckpt is set). See
+// DESIGN.md §13.
+func AdaptiveSearch(apps []App, eval Eval, opts AdaptiveOptions) (AdaptiveResult, error) {
+	return search.Adaptive(context.Background(), apps, eval, opts)
+}
+
 // Eval scores one grid cell; see SDEval, EBEval, ITEval.
 type Eval = search.Eval
 

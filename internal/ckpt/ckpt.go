@@ -461,9 +461,9 @@ func (st *Store) persist(ctx context.Context, key string, window uint64, payload
 // cost is skipped too). A snapshot failure propagates, which makes the
 // engine disable the sink for the rest of the run; a persist failure
 // does not — the store absorbs it as a counted, warned degradation.
-func (st *Store) sink(ctx context.Context, key string, totalWindows uint64) func(uint64, *sim.Simulator) error {
+func (st *Store) sink(ctx context.Context, key string, totalWindows, every uint64) func(uint64, *sim.Simulator) error {
 	return func(window uint64, s *sim.Simulator) error {
-		if window%st.every != 0 && window != totalWindows {
+		if window%every != 0 && window != totalWindows {
 			return nil
 		}
 		if _, err := os.Stat(st.Path(key, window)); err == nil {
@@ -496,6 +496,16 @@ func Execute(ctx context.Context, st *Store, rs spec.RunSpec) (sim.Result, error
 // checkpoint sink is attached and must not install its own CkptSink.
 // A nil store still applies mutate and executes cold.
 func ExecuteWith(ctx context.Context, st *Store, rs spec.RunSpec, mutate func(*sim.Options)) (sim.Result, error) {
+	every := uint64(0)
+	if st != nil {
+		every = st.every
+	}
+	return executeCadence(ctx, st, rs, mutate, every)
+}
+
+// executeCadence is ExecuteWith with an explicit write cadence for this
+// run (0 disables writes; restores are unaffected).
+func executeCadence(ctx context.Context, st *Store, rs spec.RunSpec, mutate func(*sim.Options), every uint64) (sim.Result, error) {
 	opts, err := sim.FromSpec(rs)
 	if err != nil {
 		return sim.Result{}, err
@@ -518,8 +528,8 @@ func ExecuteWith(ctx context.Context, st *Store, rs spec.RunSpec, mutate func(*s
 		wc = sim.DefaultWindowCycles
 	}
 	totalWindows := rs.TotalCycles / wc
-	if st.every != 0 {
-		opts.CkptSink = st.sink(ctx, key, totalWindows)
+	if every != 0 {
+		opts.CkptSink = st.sink(ctx, key, totalWindows, every)
 	}
 	s, err := sim.New(opts)
 	if err != nil {
@@ -559,5 +569,25 @@ func Runner(st *Store, rs spec.RunSpec) func(context.Context) (sim.Result, error
 	}
 	return func(ctx context.Context) (sim.Result, error) {
 		return Execute(ctx, st, rs)
+	}
+}
+
+// RungRunner is Runner specialized for one rung of a successive-halving
+// search: it forks from the deepest prefix checkpoint like Runner, but
+// writes only the rung's run-end snapshot — the single fork point the
+// next rung continues from — instead of the store's periodic cadence.
+// final marks the last rung, which no continuation follows: it forks
+// but writes nothing. A read-only store (SetEvery(0)) writes nothing
+// either way, and a nil store returns nil like Runner.
+func RungRunner(st *Store, rs spec.RunSpec, final bool) func(context.Context) (sim.Result, error) {
+	if st == nil {
+		return nil
+	}
+	return func(ctx context.Context) (sim.Result, error) {
+		every := ^uint64(0) // no periodic writes: only the run-end window fires
+		if final || st.every == 0 {
+			every = 0
+		}
+		return executeCadence(ctx, st, rs, nil, every)
 	}
 }

@@ -48,6 +48,16 @@ type Options struct {
 	// two-app workloads).
 	Workloads []workload.Workload
 
+	// Adaptive routes EvalWorkload's offline searches through the
+	// coarse-to-fine successive-halving search (search.Adaptive) instead
+	// of the exhaustive grid: the opt*/BF-* oracle picks come from
+	// adaptive searches and the PBS offline walks read a lazy
+	// cell-on-demand grid, so a workload pays only for the cells the
+	// searches actually touch. On the paper's workloads the picks are
+	// identical (TestAdaptiveMatchesExhaustive); experiments that print
+	// whole surfaces still build exhaustive grids.
+	Adaptive bool
+
 	Parallelism int
 
 	// SimCache, when non-empty, is the directory of the shared on-disk
@@ -114,6 +124,7 @@ type Env struct {
 
 	mu        sync.Mutex
 	grids     map[string]*search.Grid
+	lazyGrids map[string]*search.Grid // cell-on-demand grids (Options.Adaptive)
 	evalCache map[string]*Eval
 }
 
@@ -155,6 +166,7 @@ func NewEnv(ctx context.Context, opt Options) (*Env, error) {
 		ckpt:      opt.Ckpt,
 		pool:      opt.Runner,
 		grids:     map[string]*search.Grid{},
+		lazyGrids: map[string]*search.Grid{},
 		evalCache: map[string]*Eval{},
 	}, nil
 }
@@ -195,15 +207,7 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 		}
 		gctx, gsp := obs.StartSpan(e.ctx, "env-grid", obs.A("workload", w.Name))
 		defer gsp.End()
-		g, err := buildGrid(gctx, w.Apps, search.GridOptions{
-			Config:       e.Opt.Config,
-			TotalCycles:  e.Opt.GridCycles,
-			WarmupCycles: e.Opt.GridWarmup,
-			Parallelism:  e.Opt.Parallelism,
-			Runner:       e.pool,
-			Cache:        e.cache,
-			Ckpt:         e.ckpt,
-		})
+		g, err := buildGrid(gctx, w.Apps, e.gridOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -216,6 +220,74 @@ func (e *Env) Grid(w workload.Workload) (*search.Grid, error) {
 		return nil, err
 	}
 	return v.(*search.Grid), nil
+}
+
+// gridOptions is the shared build configuration of exhaustive, lazy, and
+// adaptive searches: same machine, horizons, pool, cache, and checkpoint
+// store, so all three produce (and replay) identical cache entries.
+func (e *Env) gridOptions() search.GridOptions {
+	return search.GridOptions{
+		Config:       e.Opt.Config,
+		TotalCycles:  e.Opt.GridCycles,
+		WarmupCycles: e.Opt.GridWarmup,
+		Parallelism:  e.Opt.Parallelism,
+		Runner:       e.pool,
+		Cache:        e.cache,
+		Ckpt:         e.ckpt,
+	}
+}
+
+// LazyGrid returns (creating and caching on first use) the
+// cell-on-demand grid for a workload: cells simulate on first At access
+// through the same cache path as Grid, so the offline PBS walks under
+// Options.Adaptive pay only for the cells they read.
+func (e *Env) LazyGrid(w workload.Workload) (*search.Grid, error) {
+	e.mu.Lock()
+	g, ok := e.lazyGrids[w.Name]
+	e.mu.Unlock()
+	if ok {
+		return g, nil
+	}
+	v, _, err := e.sf.Do("lazygrid:"+w.Name, func() (any, error) {
+		e.mu.Lock()
+		g, ok := e.lazyGrids[w.Name]
+		e.mu.Unlock()
+		if ok {
+			return g, nil
+		}
+		g, err := search.NewLazyGrid(e.ctx, w.Apps, e.gridOptions())
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.lazyGrids[w.Name] = g
+		e.mu.Unlock()
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*search.Grid), nil
+}
+
+// AdaptiveBest finds the combination maximizing eval through the
+// coarse-to-fine successive-halving search — Options.Adaptive's
+// replacement for Grid.Best, sharing the environment's cache and
+// checkpoint store.
+func (e *Env) AdaptiveBest(w workload.Workload, eval search.Eval) ([]int, float64, error) {
+	res, err := search.Adaptive(e.ctx, w.Apps, eval, search.AdaptiveOptions{
+		Config:       e.Opt.Config,
+		TotalCycles:  e.Opt.GridCycles,
+		WarmupCycles: e.Opt.GridWarmup,
+		Parallelism:  e.Opt.Parallelism,
+		Runner:       e.pool,
+		Cache:        e.cache,
+		Ckpt:         e.ckpt,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Combo, res.Value, nil
 }
 
 // Run executes a declarative run description through the shared executor
@@ -345,7 +417,15 @@ func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := e.Grid(w)
+	// Options.Adaptive swaps the exhaustive grid for the adaptive search
+	// (oracle picks) plus a lazy cell-on-demand grid (the PBS offline
+	// walks, which read only O(apps × levels) cells).
+	var g *search.Grid
+	if e.Opt.Adaptive {
+		g, err = e.LazyGrid(w)
+	} else {
+		g, err = e.Grid(w)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +435,20 @@ func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
 		SchBestTLP: bestTLPs,
 		SchMaxTLP:  maxCombo(len(w.Apps)),
 	}
+	var pickErr error
 	pick := func(name string, eval search.Eval) {
+		if pickErr != nil {
+			return
+		}
+		if e.Opt.Adaptive {
+			c, _, err := e.AdaptiveBest(w, eval)
+			if err != nil {
+				pickErr = err
+				return
+			}
+			combos[name] = c
+			return
+		}
 		c, _ := g.Best(eval)
 		combos[name] = c
 	}
@@ -365,6 +458,9 @@ func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
 	pick(SchBFWS, search.EBEval(metrics.ObjWS, nil))
 	pick(SchBFFI, search.EBEval(metrics.ObjFI, aloneEB))
 	pick(SchBFHS, search.EBEval(metrics.ObjHS, aloneEB))
+	if pickErr != nil {
+		return nil, pickErr
+	}
 	if c, _ := g.PBSOffline(search.EBEval(metrics.ObjWS, nil), nil); c != nil {
 		combos[SchPBSWSOff] = c
 	}

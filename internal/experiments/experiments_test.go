@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -121,6 +122,58 @@ func TestEvalWorkloadProducesAllSchemes(t *testing.T) {
 	opt := ev.Outcomes[SchOptWS].WS
 	if ev.Outcomes[SchBestTLP].WS > opt*1.15 {
 		t.Errorf("++bestTLP (%v) implausibly above optWS (%v)", ev.Outcomes[SchBestTLP].WS, opt)
+	}
+}
+
+// TestEvalWorkloadAdaptiveMatchesExhaustive pins the Options.Adaptive
+// contract: routing the offline searches through the coarse-to-fine
+// successive-halving search (over a lazy grid for the PBS-offline picks)
+// must select the same combinations — and therefore produce identical
+// outcomes — as the exhaustive grid path.
+func TestEvalWorkloadAdaptiveMatchesExhaustive(t *testing.T) {
+	mk := func(adaptive bool) *Env {
+		t.Helper()
+		cfg := config.Default()
+		cfg.NumCores = 4
+		cfg.NumMemPartitions = 4
+		env, err := NewEnv(nil, Options{
+			Config:       cfg,
+			GridCycles:   8_000,
+			GridWarmup:   1_000,
+			EvalCycles:   30_000,
+			EvalWarmup:   1_000,
+			WindowCycles: 1_000,
+			Workloads:    []workload.Workload{workload.MustMake("BLK", "BFS")},
+			Parallelism:  2,
+			Adaptive:     adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	wl := workload.MustMake("BLK", "BFS")
+	exh, err := mk(false).EvalWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := mk(true).EvalWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range exh.Outcomes {
+		got, ok := ada.Outcomes[name]
+		if !ok {
+			t.Errorf("adaptive run missing scheme %s", name)
+			continue
+		}
+		if !reflect.DeepEqual(got.Combo, want.Combo) {
+			t.Errorf("%s: adaptive combo %v, exhaustive %v", name, got.Combo, want.Combo)
+		}
+		if got.WS != want.WS || got.FI != want.FI || got.HS != want.HS {
+			t.Errorf("%s: adaptive outcome (%v %v %v) differs from exhaustive (%v %v %v)",
+				name, got.WS, got.FI, got.HS, want.WS, want.FI, want.HS)
+		}
 	}
 }
 

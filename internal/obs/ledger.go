@@ -23,6 +23,7 @@ const (
 	OutcomeCached = "cached" // served from the result cache (or a singleflight predecessor)
 	OutcomeCold   = "cold"   // simulated from cycle zero
 	OutcomeForked = "forked" // simulated from a restored prefix checkpoint
+	OutcomePruned = "pruned" // dropped by the adaptive search after a partial horizon
 )
 
 // RunRecord is one line of the provenance ledger: the full transaction
@@ -37,7 +38,7 @@ type RunRecord struct {
 	Scheme       string `json:"scheme"`                // canonical scheme flag string
 	Apps         string `json:"apps,omitempty"`        // underscore-joined workload name
 
-	Outcome    string   `json:"outcome"`               // cached | cold | forked
+	Outcome    string   `json:"outcome"`               // cached | cold | forked | pruned
 	ForkWindow uint64   `json:"fork_window,omitempty"` // restore depth for forked runs
 	Retries    int      `json:"retries,omitempty"`     // retried transient I/O failures
 	Faults     []string `json:"faults,omitempty"`      // injected/observed fault labels
@@ -47,10 +48,14 @@ type RunRecord struct {
 }
 
 // OutcomeString renders the outcome in the ledger's display form:
-// "cached", "cold", or "forked@<window>".
+// "cached", "cold", "forked@<window>", or "pruned@<cycles>" (the horizon
+// an adaptively-pruned candidate had simulated to when dropped).
 func (r RunRecord) OutcomeString() string {
-	if r.Outcome == OutcomeForked {
+	switch r.Outcome {
+	case OutcomeForked:
 		return fmt.Sprintf("forked@%d", r.ForkWindow)
+	case OutcomePruned:
+		return fmt.Sprintf("pruned@%d", r.Cycles)
 	}
 	return r.Outcome
 }
@@ -160,6 +165,7 @@ type LedgerSummary struct {
 	Cached  int
 	Cold    int
 	Forked  int
+	Pruned  int // adaptive-search candidates dropped mid-horizon
 	Skipped int // unreadable ledger lines
 
 	Retries int
@@ -180,6 +186,12 @@ func SummarizeLedger(recs []RunRecord, topK int) LedgerSummary {
 			s.Cached++
 		case OutcomeForked:
 			s.Forked++
+		case OutcomePruned:
+			// A pruning decision, not a run: the partial-horizon
+			// simulation it refers to already logged its own record, so
+			// counting its cycles again would double-book the work.
+			s.Pruned++
+			continue
 		default:
 			s.Cold++
 		}
@@ -189,7 +201,12 @@ func SummarizeLedger(recs []RunRecord, topK int) LedgerSummary {
 		s.WallNs += r.WallNs
 	}
 	if topK > 0 {
-		sorted := append([]RunRecord(nil), recs...)
+		sorted := make([]RunRecord, 0, len(recs))
+		for _, r := range recs {
+			if r.Outcome != OutcomePruned { // a decision, not a run
+				sorted = append(sorted, r)
+			}
+		}
 		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].WallNs > sorted[j].WallNs })
 		if len(sorted) > topK {
 			sorted = sorted[:topK]
@@ -202,7 +219,8 @@ func SummarizeLedger(recs []RunRecord, topK int) LedgerSummary {
 // WriteText renders the summary for humans (the `sweep -explain`
 // output).
 func (s LedgerSummary) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "runs: %d (%d cold / %d forked / %d cached)\n", s.Records, s.Cold, s.Forked, s.Cached)
+	fmt.Fprintf(w, "runs: %d (%d cold / %d forked / %d cached / %d pruned)\n",
+		s.Records, s.Cold, s.Forked, s.Cached, s.Pruned)
 	fmt.Fprintf(w, "retries: %d  injected faults: %d\n", s.Retries, s.Faults)
 	fmt.Fprintf(w, "simulated cycles: %d  total wall: %s\n", s.Cycles, time.Duration(s.WallNs))
 	if s.Skipped > 0 {

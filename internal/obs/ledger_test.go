@@ -156,14 +156,24 @@ func TestSummarizeLedgerCountsAndTopK(t *testing.T) {
 	fk.Faults = []string{"ckpt-read"}
 	hit := testRecord("hit", OutcomeCached)
 	hit.WallNs = 1 // replayed from disk: effectively free
-	recs = append(recs, fk, hit)
+	pr := testRecord("pr", OutcomePruned)
+	pr.Cycles = 25_000
+	recs = append(recs, fk, hit, pr)
 
 	s := SummarizeLedger(recs, 2)
-	if s.Records != 6 || s.Cold != 4 || s.Forked != 1 || s.Cached != 1 {
+	if s.Records != 7 || s.Cold != 4 || s.Forked != 1 || s.Cached != 1 || s.Pruned != 1 {
 		t.Fatalf("summary = %+v", s)
 	}
 	if s.Retries != 4 || s.Faults != 1 {
 		t.Fatalf("retries=%d faults=%d", s.Retries, s.Faults)
+	}
+	// A pruning decision is not a run: the short simulation it refers to
+	// already logged its own cycles, so the total must not include it.
+	if s.Cycles != 6*100_000 {
+		t.Fatalf("pruned record double-booked cycles: %d", s.Cycles)
+	}
+	if got := pr.OutcomeString(); got != "pruned@25000" {
+		t.Fatalf("OutcomeString = %q", got)
 	}
 	if len(s.Slowest) != 2 || s.Slowest[0].Fingerprint != "fk" || s.Slowest[1].Fingerprint != "cold3" {
 		t.Fatalf("slowest = %+v", s.Slowest)
@@ -181,7 +191,7 @@ func TestLedgerSummaryWriteText(t *testing.T) {
 	s.WriteText(&b)
 	out := b.String()
 	for _, want := range []string{
-		"runs: 2 (0 cold / 0 forked / 2 cached)",
+		"runs: 2 (0 cold / 0 forked / 2 cached / 0 pruned)",
 		"retries: 0  injected faults: 0",
 		"unreadable ledger lines skipped: 1",
 		"slowest runs:",

@@ -66,7 +66,15 @@ type Grid struct {
 	Levels  []int
 	Results []sim.Result // flat, row-major: index = Σ levelIdx[i] * |levels|^i
 
-	combos [][]int // lazily built Combos cache
+	combosOnce sync.Once
+	combos     [][]int // lazily built Combos cache
+
+	// Lazy-cell support (NewLazyGrid): fill simulates one combination on
+	// its first At access, ready tracks which flat indices hold real
+	// results. Both are nil for grids built by BuildGrid.
+	fillMu sync.Mutex
+	fill   func(tlps []int) (sim.Result, error)
+	ready  []bool
 }
 
 // Index converts per-app level indices into the flat grid index.
@@ -81,7 +89,9 @@ func (g *Grid) Index(levelIdx []int) int {
 }
 
 // At returns the result for the given per-app TLP levels (values, not
-// indices).
+// indices). On a lazy grid (NewLazyGrid) a missing cell is simulated on
+// first access; fills are serialized, which suits the serial offline
+// searches that read them.
 func (g *Grid) At(tlps []int) (sim.Result, error) {
 	li := make([]int, len(tlps))
 	for i, t := range tlps {
@@ -91,17 +101,32 @@ func (g *Grid) At(tlps []int) (sim.Result, error) {
 		}
 		li[i] = k
 	}
-	return g.Results[g.Index(li)], nil
+	idx := g.Index(li)
+	if g.fill != nil {
+		g.fillMu.Lock()
+		defer g.fillMu.Unlock()
+		if !g.ready[idx] {
+			r, err := g.fill(append([]int(nil), tlps...))
+			if err != nil {
+				return sim.Result{}, err
+			}
+			g.Results[idx] = r
+			g.ready[idx] = true
+		}
+	}
+	return g.Results[idx], nil
 }
 
 // Combos returns every TLP combination in flat-index order. The slice is
-// built once and cached (evaluation loops call this per search); callers
-// must treat it as read-only. The first call is not concurrency-safe, but
-// BuildGrid populates the cache before handing the grid out.
+// built once under a sync.Once and cached (evaluation loops call this per
+// search), so the first call is safe from concurrent evaluators; callers
+// must treat the result as read-only.
 func (g *Grid) Combos() [][]int {
-	if g.combos != nil {
-		return g.combos
-	}
+	g.combosOnce.Do(g.buildCombos)
+	return g.combos
+}
+
+func (g *Grid) buildCombos() {
 	n := len(g.Apps)
 	total := 1
 	for i := 0; i < n; i++ {
@@ -118,7 +143,6 @@ func (g *Grid) Combos() [][]int {
 		out[idx] = c
 	}
 	g.combos = out
-	return out
 }
 
 func indexOf(xs []int, x int) int {
@@ -208,6 +232,35 @@ func BuildGrid(ctx context.Context, apps []kernel.Params, opts GridOptions) (*Gr
 	}
 	if err != nil {
 		return nil, err
+	}
+	return g, nil
+}
+
+// NewLazyGrid returns a grid whose cells are simulated on first access
+// instead of up front: At computes a missing cell on demand through the
+// same cache/checkpoint path BuildGrid uses, so the offline PBS searches
+// — which read only O(apps × levels) of the levels^apps cells — cost
+// only the cells they actually touch. Fresh cells persist to opts.Cache,
+// so a later exhaustive build of the same workload replays them. Only
+// At is lazy: Best and Combos-driven scans see zero results for cells
+// never accessed, so exhaustive consumers still need BuildGrid (or the
+// adaptive search, which replaces the exhaustive argmax).
+func NewLazyGrid(ctx context.Context, apps []kernel.Params, opts GridOptions) (*Grid, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("search: no applications")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Levels == nil {
+		opts.Levels = append([]int(nil), config.TLPLevels...)
+	}
+	g := &Grid{Apps: append([]kernel.Params(nil), apps...), Levels: opts.Levels}
+	g.Results = make([]sim.Result, len(g.Combos()))
+	g.ready = make([]bool, len(g.Results))
+	owned := g.Apps
+	g.fill = func(tlps []int) (sim.Result, error) {
+		return runCombo(ctx, owned, tlps, opts)
 	}
 	return g, nil
 }

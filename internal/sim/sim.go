@@ -462,6 +462,10 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		ctx = context.Background()
 	}
 	done := ctx.Done() // nil for Background: the check below compiles away
+	// Work accounting starts at the current cycle, so a Restore()d run
+	// credits only the tail it simulates itself, never the restored
+	// prefix.
+	counted := s.cycle
 	// No initialization of cycle/windows/nextWindow: a fresh simulator
 	// starts at zero and a Restore()d one resumes where the snapshot left
 	// off, so the same loop serves cold runs and checkpoint forks.
@@ -564,6 +568,8 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		// Sampling window boundary.
 		if now+1 == s.nextWindow {
 			s.windows++
+			addWork(now + 1 - counted)
+			counted = now + 1
 			// Settle fast-forwarded counters so the window telemetry is
 			// exact; quiescent cores stay skipped.
 			for ci := range s.cores {
@@ -610,6 +616,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			}
 		}
 	}
+	addWork(s.cycle - counted) // partial final window
 	return s.result(s.windows), nil
 }
 

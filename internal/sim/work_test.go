@@ -1,0 +1,88 @@
+package sim_test
+
+import (
+	"testing"
+
+	"ebm/internal/obs"
+	"ebm/internal/sim"
+)
+
+// TestCyclesSimulatedCountsFullRun pins the work counter's contract: a
+// cold run credits exactly its TotalCycles, and a run forked from a
+// restored snapshot credits only the tail it actually executes — the
+// replayed prefix was paid for by the run that produced the snapshot.
+func TestCyclesSimulatedCountsFullRun(t *testing.T) {
+	opts := fidelityOpts() // 20_000 cycles, 2_000-cycle windows
+
+	s, err := sim.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sim.CyclesSimulated()
+	s.Run()
+	if d := sim.CyclesSimulated() - before; d != opts.TotalCycles {
+		t.Fatalf("cold run credited %d cycles, want %d", d, opts.TotalCycles)
+	}
+
+	// Unaligned total: the partial final window must be credited too.
+	odd := opts
+	odd.TotalCycles = 20_999
+	s, err = sim.New(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = sim.CyclesSimulated()
+	s.Run()
+	if d := sim.CyclesSimulated() - before; d != odd.TotalCycles {
+		t.Fatalf("unaligned run credited %d cycles, want %d", d, odd.TotalCycles)
+	}
+}
+
+func TestCyclesSimulatedCountsForkedTailOnly(t *testing.T) {
+	opts := fidelityOpts()
+	const prefix = 8_000 // a window boundary past the 3_000-cycle warmup
+
+	short := opts
+	short.TotalCycles = prefix
+	ps, err := sim.New(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Run()
+	data, err := ps.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := sim.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RestoreBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	before := sim.CyclesSimulated()
+	fs.Run()
+	if d := sim.CyclesSimulated() - before; d != opts.TotalCycles-prefix {
+		t.Fatalf("forked run credited %d cycles, want the %d-cycle tail",
+			d, opts.TotalCycles-prefix)
+	}
+}
+
+// TestInstrumentWork pins the registry mirror: the counter is seeded with
+// the work already done in this process and tracks new work.
+func TestInstrumentWork(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := sim.InstrumentWork(reg)
+	if got, want := c.Value(), sim.CyclesSimulated(); got != want {
+		t.Fatalf("counter seeded with %d, want %d", got, want)
+	}
+	s, err := sim.New(fidelityOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if got, want := c.Value(), sim.CyclesSimulated(); got != want {
+		t.Fatalf("counter at %d after a run, want %d", got, want)
+	}
+}
