@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all verify race chaos bench obs-bench figs-bench ckpt-bench \
-    trace-bench search-bench cover test build
+    trace-bench search-bench policy-bench cover test build
 
 all: verify
 
@@ -24,7 +24,8 @@ verify:
 		else echo "staticcheck not installed; skipping"; fi
 	$(GO) test ./...
 	$(GO) test -race ./internal/runner/... ./internal/resilience/... \
-	    ./internal/ckpt/... ./internal/obs/... ./internal/search/...
+	    ./internal/ckpt/... ./internal/obs/... ./internal/search/... \
+	    ./internal/policy/...
 
 # race runs the short test suite under the race detector (the grid builder
 # and profiler are the only concurrent paths).
@@ -58,6 +59,14 @@ obs-bench:
 	    -bench 'SimulatorCycles' -benchtime 5x -count 5 -out '' \
 	    -old BENCH_1.json \
 	    -maxratio 'BenchmarkSimulatorCyclesObs/BenchmarkSimulatorCycles=1.05'
+
+# policy-bench enforces the sandbox overhead contract (DESIGN.md §14):
+# the sandboxed simulator benchmark must stay within 5% of the plain one,
+# measured in the same run. The timings are snapshotted into BENCH_9.json.
+policy-bench:
+	$(GO) run ./cmd/benchdiff -pkgs . \
+	    -bench 'SimulatorCycles' -benchtime 5x -count 5 -out BENCH_9.json \
+	    -maxratio 'BenchmarkSimulatorCyclesSandboxed/BenchmarkSimulatorCycles=1.05'
 
 # figs-bench enforces the warm-cache contract (DESIGN.md §8): a
 # `paperfigs -all -quick`-shaped regeneration against a prewarmed result

@@ -25,9 +25,11 @@ import (
 	"ebm/internal/experiments"
 	"ebm/internal/kernel"
 	"ebm/internal/obs"
+	"ebm/internal/policy"
 	"ebm/internal/search"
 	"ebm/internal/sim"
 	"ebm/internal/simcache"
+	"ebm/internal/spec"
 	"ebm/internal/workload"
 )
 
@@ -470,6 +472,33 @@ func BenchmarkSimulatorCyclesObs(b *testing.B) {
 			Apps:        wl.Apps,
 			TotalCycles: cycles,
 			Obs:         observer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+	b.ReportMetric(float64(cycles*uint64(b.N))/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkSimulatorCyclesSandboxed is BenchmarkSimulatorCycles with the
+// manager wrapped in the policy sandbox (panic isolation, decision
+// validation; no time budget). The Makefile's policy-bench target asserts
+// its ns/op stays within 5% of the plain benchmark (the sandbox overhead
+// contract of DESIGN.md §14).
+func BenchmarkSimulatorCyclesSandboxed(b *testing.B) {
+	wl := workload.MustMake("BLK", "BFS")
+	const cycles = 50_000
+	// The guard outlives runs like an observer does; construction stays
+	// untimed. It wraps the same default manager sim.New would build.
+	guard := policy.Wrap(spec.MustManager(spec.MaxTLP(), len(wl.Apps)), policy.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(sim.Options{
+			Config:      config.Default(),
+			Apps:        wl.Apps,
+			TotalCycles: cycles,
+			Manager:     guard,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -10,10 +10,17 @@
 //	ebsim -alone BFS            # single-application TLP sweep (Fig. 2 style)
 //
 // -scheme takes the canonical scheme grammar of internal/spec (see the
-// README's scheme table): a kind — static, besttlp, maxtlp, dyncta,
-// modbypass, ccws, pbs-ws, pbs-fi, pbs-hs — optionally followed by
-// ":args" carrying TLP levels or key=value knobs. The legacy -tlp flag
-// is sugar for the static/besttlp level list.
+// README's scheme table): a registered kind — static, besttlp, maxtlp,
+// dyncta, modbypass, ccws, pbs-ws, pbs-fi, pbs-hs, batch, wrs —
+// optionally followed by ":args" carrying TLP levels or key=value knobs.
+// The legacy -tlp flag is sugar for the static/besttlp level list.
+//
+// -sandbox runs the policy inside the internal/policy guard: a policy
+// that panics, returns a malformed decision, or (with -sandbox-budget)
+// overruns its per-decision wall-clock budget degrades the run to a safe
+// fallback instead of aborting it. Degraded results are never cached or
+// checkpointed; the fault tally is printed at exit, and under -chaos the
+// injector also crashes the policy itself to demonstrate the recovery.
 //
 // Observability: -listen serves live Prometheus metrics on /metrics,
 // -trace writes the per-window CSV time series, -chrometrace writes a
@@ -66,6 +73,7 @@ import (
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/obs"
+	"ebm/internal/policy"
 	"ebm/internal/profile"
 	"ebm/internal/resilience"
 	"ebm/internal/sim"
@@ -101,6 +109,10 @@ func run(ctx context.Context) error {
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the -chaos fault injector")
 		ledgerF   = fs.String("ledger", "", "append one provenance record per completed cached run to this JSONL `file` (needs -simcache)")
 		spansF    = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
+		sandbox   = fs.Bool("sandbox", false,
+			"run the policy inside the sandbox: panics and malformed decisions degrade to a safe fallback instead of aborting; degraded results are never cached")
+		sandboxBudget = fs.Duration("sandbox-budget", 0,
+			"per-decision wall-clock budget under -sandbox, e.g. 10ms (0 = panic isolation only; implies -sandbox)")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
@@ -198,13 +210,24 @@ func run(ctx context.Context) error {
 		dog *resilience.Watchdog
 	)
 	if *chaos {
-		inj = faultinject.New(faultinject.Config{
+		injCfg := faultinject.Config{
 			Seed:              *chaosSeed,
 			CacheReadErrProb:  0.25,
 			CacheWriteErrProb: 0.25,
 			StallEveryWindows: 16,
 			Stall:             time.Millisecond,
-		})
+		}
+		if *sandbox || *sandboxBudget > 0 {
+			// With the sandbox on, chaos also crashes (and, when a budget
+			// is set, stalls) the policy itself; the guard absorbs both.
+			injCfg.PolicyPanicProb = 0.05
+			injCfg.MaxPolicyPanics = 4
+			if *sandboxBudget > 0 {
+				injCfg.PolicyStallEveryDecisions = 32
+				injCfg.PolicyStall = 2 * *sandboxBudget
+			}
+		}
+		inj = faultinject.New(injCfg)
 		monReg := reg
 		if monReg == nil {
 			monReg = obs.NewRegistry() // private tally for the exit report
@@ -229,8 +252,9 @@ func run(ctx context.Context) error {
 		defer func() {
 			c := inj.Counts()
 			fmt.Fprintf(os.Stderr,
-				"ebsim: chaos: seed=%d injected %d cache read errors, %d cache write errors, %d stalls; cache retries=%d, watchdog tripped=%v\n",
-				*chaosSeed, c.ReadErrs, c.WriteErrs, c.Stalls, mon.CacheRetries.Value(), dog.Tripped())
+				"ebsim: chaos: seed=%d injected %d cache read errors, %d cache write errors, %d stalls, %d policy panics, %d policy stalls; cache retries=%d, watchdog tripped=%v\n",
+				*chaosSeed, c.ReadErrs, c.WriteErrs, c.Stalls, c.PolicyPanics, c.PolicyStalls,
+				mon.CacheRetries.Value(), dog.Tripped())
 		}()
 	}
 
@@ -290,10 +314,7 @@ func run(ctx context.Context) error {
 		return cli.Usagef("%v", err)
 	}
 
-	victimTags := 0
-	if sch.Kind == spec.KindCCWS {
-		victimTags = 1024
-	}
+	victimTags := spec.VictimTagsFor(sch)
 
 	// Observability sinks: a journal backs the CSV and Chrome-trace
 	// exporters, a registry backs the live /metrics endpoint. With none of
@@ -319,6 +340,29 @@ func run(ctx context.Context) error {
 		fmt.Fprintf(os.Stderr, "ebsim: serving metrics on http://%s/metrics\n", srv.Addr)
 	}
 
+	// -sandbox wraps the manager in the policy guard. Under -chaos the
+	// injector's policy faults (panics, stalls) sit *inside* the guard, so
+	// the run degrades to the fallback ladder and still completes; the
+	// fault tally is reported at exit. Sandboxed runs skip the checkpoint
+	// store — a degraded prefix must never seed future forks.
+	var guard *policy.Guard
+	if *sandbox || *sandboxBudget > 0 {
+		inner := mgr
+		if inj != nil {
+			inner = faultinject.WrapManager(inner, inj)
+		}
+		guard = policy.Wrap(inner, policy.Options{Budget: *sandboxBudget, Obs: observer})
+		defer guard.Close()
+		mgr = guard
+		defer func() {
+			fmt.Fprintf(os.Stderr, "ebsim: sandbox: %d policy faults, %d swaps\n",
+				guard.Faults(), guard.Swaps())
+			for _, l := range guard.FaultLabels() {
+				fmt.Fprintf(os.Stderr, "ebsim: sandbox:   %s\n", l)
+			}
+		}()
+	}
+
 	rs := spec.RunSpec{
 		Config:             cfg,
 		Apps:               wl.Apps,
@@ -336,7 +380,7 @@ func run(ctx context.Context) error {
 		// bit-identically from disk, and a longer one forks from the
 		// deepest shared-prefix snapshot. Observed runs must execute for
 		// their event streams, so they bypass both.
-		res, err = simcache.RunCached(ctx, rcache, nil, 0, rs, directRun(rs, store, inj, dog))
+		res, err = simcache.RunCached(ctx, rcache, nil, 0, rs, directRun(rs, store, inj, dog, guard))
 		if err != nil {
 			return err
 		}
@@ -397,21 +441,40 @@ func run(ctx context.Context) error {
 }
 
 // directRun builds the cache-miss execution path for RunCached: the
-// checkpoint store when -ckpt is on, and under -chaos the engine also
-// carries the injector's window hooks and the watchdog's pulse. With
-// none of the three this returns nil and RunCached falls back to
-// sim.Execute.
-func directRun(rs spec.RunSpec, store *ckpt.Store, inj *faultinject.Injector, dog *resilience.Watchdog) func(context.Context) (sim.Result, error) {
-	if store == nil && inj == nil && dog == nil {
+// checkpoint store when -ckpt is on, under -chaos the engine also
+// carries the injector's window hooks and the watchdog's pulse, and
+// under -sandbox the guard replaces the spec-built manager. With none of
+// the four this returns nil and RunCached falls back to sim.Execute.
+func directRun(rs spec.RunSpec, store *ckpt.Store, inj *faultinject.Injector, dog *resilience.Watchdog, guard *policy.Guard) func(context.Context) (sim.Result, error) {
+	if store == nil && inj == nil && dog == nil && guard == nil {
 		return nil // RunCached falls back to sim.Execute
 	}
+	if guard != nil {
+		// A sandboxed policy can degrade the run nondeterministically, so
+		// its snapshots must never seed future checkpoint forks.
+		store = nil
+	}
 	return func(ctx context.Context) (sim.Result, error) {
-		return ckpt.ExecuteWith(ctx, store, rs, func(opts *sim.Options) {
+		res, err := ckpt.ExecuteWith(ctx, store, rs, func(opts *sim.Options) {
 			if inj != nil { // a typed-nil *Injector must not become a non-nil Hooks
 				opts.Hooks = inj
 			}
 			opts.Watchdog = dog
+			if guard != nil {
+				opts.Manager = guard
+			}
 		})
+		if guard != nil && guard.Faults() > 0 {
+			// The fallback ladder changed the decisions this run executed:
+			// the result no longer matches its deterministic cache key, so
+			// it is returned but not persisted, and the provenance ledger
+			// records each fault.
+			simcache.MarkVolatile(ctx)
+			for _, l := range guard.FaultLabels() {
+				obs.TrailFrom(ctx).AddFault("policy: " + l)
+			}
+		}
+		return res, err
 	}
 }
 

@@ -75,6 +75,7 @@ import (
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/obs"
+	"ebm/internal/policy"
 	"ebm/internal/profile"
 	"ebm/internal/resilience"
 	"ebm/internal/runner"
@@ -116,6 +117,10 @@ func run(ctx context.Context) error {
 				"(auto = ledger.jsonl beside the -simcache directory; empty disables)")
 		spansF  = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
 		explain = fs.Bool("explain", false, "read the -ledger file and print a provenance summary instead of sweeping")
+		sandbox = fs.Bool("sandbox", false,
+			"run the -schemes policies inside the policy sandbox: a panicking or malformed policy degrades to a safe fallback and the sweep completes; degraded results are not cached")
+		sandboxBudget = fs.Duration("sandbox-budget", 0,
+			"per-decision wall-clock budget for sandboxed -schemes policies, e.g. 10ms (0 = panic isolation only; implies -sandbox)")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
@@ -551,10 +556,6 @@ func run(ctx context.Context) error {
 		if sch.Kind == spec.KindBestTLP && len(sch.Static.TLPs) == 0 {
 			sch = spec.BestTLP(bestTLPs) // resolve from the alone profiles
 		}
-		victimTags := 0
-		if sch.Kind == spec.KindCCWS {
-			victimTags = 1024 // the lost-locality detector needs victim tags
-		}
 		rs := spec.RunSpec{
 			Config:             cfg,
 			Apps:               wl.Apps,
@@ -563,9 +564,46 @@ func run(ctx context.Context) error {
 			WarmupCycles:       *warmup,
 			WindowCycles:       2_500,
 			DesignatedSampling: true,
-			VictimTags:         victimTags,
+			VictimTags:         spec.VictimTagsFor(sch),
 		}
-		r, err := simcache.RunCached(ctx, rcache, pool, runner.PriEval, rs, ckpt.Runner(store, rs))
+		runFn := ckpt.Runner(store, rs)
+		if *sandbox || *sandboxBudget > 0 {
+			// Sandboxed scheme runs: the guard absorbs policy panics,
+			// budget overruns, and malformed decisions, so one broken
+			// policy cannot abort the sweep. A degraded run is marked
+			// volatile (returned, never cached) and its faults land on
+			// the provenance trail and in the journal. Checkpoints are
+			// skipped — a degraded prefix must never seed future forks.
+			rsRun := rs
+			runFn = func(ctx context.Context) (sim.Result, error) {
+				opts, err := sim.FromSpec(rsRun)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				guard := policy.Wrap(opts.Manager, policy.Options{
+					Budget: *sandboxBudget,
+					Obs:    &obs.Observer{Metrics: reg, Journal: journal},
+				})
+				defer guard.Close()
+				opts.Manager = guard
+				s, err := sim.New(opts)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				res, err := s.RunContext(ctx)
+				if n := guard.Faults(); n > 0 {
+					simcache.MarkVolatile(ctx)
+					for _, l := range guard.FaultLabels() {
+						obs.TrailFrom(ctx).AddFault("policy: " + l)
+					}
+					fmt.Fprintf(os.Stderr,
+						"sweep: sandbox: %s degraded by %d policy faults (result not cached)\n",
+						rsRun.Scheme.String(), n)
+				}
+				return res, err
+			}
+		}
+		r, err := simcache.RunCached(ctx, rcache, pool, runner.PriEval, rs, runFn)
 		if err != nil {
 			if ctx.Err() != nil {
 				resumeReport("scheme " + sch.String())

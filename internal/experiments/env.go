@@ -375,6 +375,8 @@ const (
 	SchDynCTA    = "++DynCTA"
 	SchCCWS      = "++CCWS"
 	SchModBypass = "Mod+Bypass"
+	SchBatch     = "++Batch"
+	SchWRS       = "++WRS"
 	SchPBSWS     = "PBS-WS"
 	SchPBSFI     = "PBS-FI"
 	SchPBSHS     = "PBS-HS"
@@ -401,6 +403,8 @@ func FigureSchemes(bestTLPs []int) map[string]spec.SchemeSpec {
 		SchDynCTA:    spec.DynCTA(),
 		SchCCWS:      spec.CCWS(),
 		SchModBypass: spec.ModBypass(),
+		SchBatch:     spec.Batch(),
+		SchWRS:       spec.WRS(),
 		SchPBSWS:     spec.PBS(metrics.ObjWS),
 		SchPBSFI:     spec.PBS(metrics.ObjFI),
 		SchPBSHS:     spec.PBS(metrics.ObjHS),
@@ -489,6 +493,8 @@ func (e *Env) EvalWorkload(w workload.Workload) (*Eval, error) {
 	}{
 		{SchDynCTA, figSchemes[SchDynCTA]},
 		{SchModBypass, figSchemes[SchModBypass]},
+		{SchBatch, figSchemes[SchBatch]},
+		{SchWRS, figSchemes[SchWRS]},
 		{SchPBSWS, figSchemes[SchPBSWS]},
 		{SchPBSFI, figSchemes[SchPBSFI]},
 		{SchPBSHS, figSchemes[SchPBSHS]},
@@ -644,7 +650,7 @@ func pow(x, p float64) float64 {
 // sortedSchemes returns outcome names in a stable presentation order.
 func sortedSchemes(m map[string]Outcome) []string {
 	order := []string{
-		SchBestTLP, SchMaxTLP, SchDynCTA, SchModBypass,
+		SchBestTLP, SchMaxTLP, SchDynCTA, SchModBypass, SchBatch, SchWRS,
 		SchPBSWS, SchPBSWSOff, SchBFWS, SchOptWS,
 		SchPBSFI, SchPBSFIOff, SchBFFI, SchOptFI,
 		SchPBSHS, SchPBSHSOff, SchBFHS, SchOptHS,

@@ -143,14 +143,14 @@ func (e *Env) schemePanel(w io.Writer, obj metrics.Objective, schemes []string) 
 func Fig9(e *Env, w io.Writer) error {
 	header(w, "Fig. 9: impact on Weighted Speedup (normalized to ++bestTLP)")
 	return e.schemePanel(w, metrics.ObjWS,
-		[]string{SchDynCTA, SchModBypass, SchPBSWS, SchPBSWSOff, SchBFWS, SchOptWS})
+		[]string{SchDynCTA, SchModBypass, SchBatch, SchWRS, SchPBSWS, SchPBSWSOff, SchBFWS, SchOptWS})
 }
 
 // Fig10 reproduces the fairness comparison of all schemes.
 func Fig10(e *Env, w io.Writer) error {
 	header(w, "Fig. 10: impact on Fairness Index (normalized to ++bestTLP)")
 	return e.schemePanel(w, metrics.ObjFI,
-		[]string{SchDynCTA, SchModBypass, SchPBSFI, SchPBSFIOff, SchBFFI, SchOptFI})
+		[]string{SchDynCTA, SchModBypass, SchBatch, SchWRS, SchPBSFI, SchPBSFIOff, SchBFFI, SchOptFI})
 }
 
 // Fig12 reconstructs the harmonic-speedup panel (its data fall in the
@@ -158,7 +158,7 @@ func Fig10(e *Env, w io.Writer) error {
 func Fig12(e *Env, w io.Writer) error {
 	header(w, "HS panel (reconstructed): impact on Harmonic Speedup (normalized to ++bestTLP)")
 	return e.schemePanel(w, metrics.ObjHS,
-		[]string{SchDynCTA, SchModBypass, SchPBSHS, SchPBSHSOff, SchBFHS, SchOptHS})
+		[]string{SchDynCTA, SchModBypass, SchBatch, SchWRS, SchPBSHS, SchPBSHSOff, SchBFHS, SchOptHS})
 }
 
 // Fig11 traces the TLP decisions of PBS-WS and PBS-FI over the execution

@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"encoding/json"
 	"testing"
 
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/metrics"
+	"ebm/internal/simcache"
 	"ebm/internal/spec"
 )
 
@@ -49,6 +54,104 @@ func TestFigureSchemesResolveThroughRegistry(t *testing.T) {
 		if mgr.Name() != m2.Name() {
 			t.Errorf("%s: manager name changed across round trip: %q vs %q",
 				name, mgr.Name(), m2.Name())
+		}
+	}
+}
+
+// TestRegistryKindsCompleteAndStable extends the completeness criterion
+// to every registered kind, not just the figure entries: each kind has a
+// representative spec here (adding a kind without extending this test
+// fails it), round-trips through both the flag grammar and JSON with its
+// cache identity intact, and is reachable from FigureSchemes either
+// directly or through canonicalization.
+func TestRegistryKindsCompleteAndStable(t *testing.T) {
+	bestTLPs := []int{2, 8}
+	reps := map[string]spec.SchemeSpec{
+		spec.KindStatic:    spec.Static([]int{2, 4}, nil),
+		spec.KindBestTLP:   spec.BestTLP(bestTLPs),
+		spec.KindMaxTLP:    spec.MaxTLP(),
+		spec.KindDynCTA:    spec.DynCTA(),
+		spec.KindModBypass: spec.ModBypass(),
+		spec.KindCCWS:      spec.CCWS(),
+		spec.KindPBSWS:     spec.PBS(metrics.ObjWS),
+		spec.KindPBSFI:     spec.PBS(metrics.ObjFI),
+		spec.KindPBSHS:     spec.PBS(metrics.ObjHS),
+		spec.KindBatch:     spec.Batch(),
+		spec.KindWRS:       spec.WRS(),
+	}
+
+	blk, _ := kernel.ByName("BLK")
+	trd, _ := kernel.ByName("TRD")
+	runOf := func(s spec.SchemeSpec) spec.RunSpec {
+		return spec.RunSpec{
+			Config:       config.Default(),
+			Apps:         []kernel.Params{blk, trd},
+			Scheme:       s,
+			TotalCycles:  60_000,
+			WarmupCycles: 10_000,
+		}
+	}
+
+	for _, k := range spec.Kinds() {
+		rep, ok := reps[k]
+		if !ok {
+			t.Errorf("registered kind %q has no representative here — extend this test", k)
+			continue
+		}
+		mgr, err := rep.Manager(2)
+		if err != nil {
+			t.Errorf("%s: Manager: %v", k, err)
+			continue
+		}
+
+		// Flag-grammar round trip.
+		parsed, err := spec.ParseScheme(rep.String())
+		if err != nil {
+			t.Errorf("%s: ParseScheme(%q): %v", k, rep.String(), err)
+			continue
+		}
+		// JSON round trip.
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Errorf("%s: marshal: %v", k, err)
+			continue
+		}
+		var back spec.SchemeSpec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Errorf("%s: unmarshal: %v", k, err)
+			continue
+		}
+
+		key := simcache.Key(runOf(rep))
+		for form, s := range map[string]spec.SchemeSpec{"grammar": parsed, "json": back} {
+			m2, err := s.Manager(2)
+			if err != nil {
+				t.Errorf("%s: %s round trip Manager: %v", k, form, err)
+				continue
+			}
+			if m2.Name() != mgr.Name() {
+				t.Errorf("%s: %s round trip changed manager name: %q vs %q",
+					k, form, m2.Name(), mgr.Name())
+			}
+			if k2 := simcache.Key(runOf(s)); k2 != key {
+				t.Errorf("%s: %s round trip changed cache key: %s vs %s", k, form, k2, key)
+			}
+		}
+		if key != simcache.Key(runOf(rep)) {
+			t.Errorf("%s: cache key not stable across recomputation", k)
+		}
+	}
+
+	// Every kind is reachable from the figure catalog, directly or via
+	// its canonical form (++bestTLP resolves to a static combination).
+	covered := map[string]bool{}
+	for _, sch := range FigureSchemes(bestTLPs) {
+		covered[sch.Kind] = true
+		covered[runOf(sch).Canonical().Scheme.Kind] = true
+	}
+	for _, k := range spec.Kinds() {
+		if !covered[k] {
+			t.Errorf("kind %q not reachable from FigureSchemes", k)
 		}
 	}
 }

@@ -66,14 +66,28 @@ type Config struct {
 
 	// SlowIO adds latency to every cache read and write.
 	SlowIO time.Duration
+
+	// PolicyPanicProb is the per-decision probability that a WrapManager-
+	// wrapped TLP policy panics inside OnSample; MaxPolicyPanics caps the
+	// total (0 means unlimited). Exercises the policy sandbox's panic
+	// isolation.
+	PolicyPanicProb float64
+	MaxPolicyPanics int
+
+	// PolicyStallEveryDecisions stalls every Nth wrapped OnSample call for
+	// PolicyStall (0 disables). Exercises the sandbox's decision budget.
+	PolicyStallEveryDecisions uint64
+	PolicyStall               time.Duration
 }
 
 // Counts reports how many faults an Injector has produced.
 type Counts struct {
-	ReadErrs  uint64
-	WriteErrs uint64
-	Panics    uint64
-	Stalls    uint64
+	ReadErrs     uint64
+	WriteErrs    uint64
+	Panics       uint64
+	Stalls       uint64
+	PolicyPanics uint64
+	PolicyStalls uint64
 }
 
 // Injector implements Hooks with seeded, counted fault decisions.
@@ -81,11 +95,12 @@ type Counts struct {
 // *Injector stored in a Hooks interface injects nothing instead of
 // crashing (call sites should still prefer leaving Hooks nil).
 type Injector struct {
-	mu      sync.Mutex
-	cfg     Config
-	rng     *rand.Rand
-	windows uint64
-	counts  Counts
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
+	windows   uint64
+	decisions uint64
+	counts    Counts
 }
 
 // New returns an Injector drawing decisions from cfg.Seed.
@@ -161,6 +176,37 @@ func (in *Injector) TaskStart(label string) {
 	in.mu.Unlock()
 	if hit {
 		panic(fmt.Sprintf("faultinject: task %s: injected panic", label))
+	}
+}
+
+// PolicyDecision draws one wrapped-policy fault: it may stall (every
+// PolicyStallEveryDecisions-th call sleeps PolicyStall) and may panic
+// (PolicyPanicProb, capped by MaxPolicyPanics). WrapManager calls it
+// before delegating each OnSample; it is not part of the Hooks seam.
+func (in *Injector) PolicyDecision(window uint64) {
+	if in == nil {
+		return
+	}
+
+	in.mu.Lock()
+	in.decisions++
+	hit := in.cfg.PolicyPanicProb > 0 &&
+		(in.cfg.MaxPolicyPanics == 0 || in.counts.PolicyPanics < uint64(in.cfg.MaxPolicyPanics)) &&
+		in.rng.Float64() < in.cfg.PolicyPanicProb
+	if hit {
+		in.counts.PolicyPanics++
+	}
+	stall := in.cfg.PolicyStallEveryDecisions > 0 && in.decisions%in.cfg.PolicyStallEveryDecisions == 0
+	if stall {
+		in.counts.PolicyStalls++
+	}
+	d := in.cfg.PolicyStall
+	in.mu.Unlock()
+	if stall && d > 0 {
+		time.Sleep(d)
+	}
+	if hit {
+		panic(fmt.Sprintf("faultinject: policy decision at window %d: injected panic", window))
 	}
 }
 

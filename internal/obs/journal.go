@@ -34,6 +34,14 @@ const (
 	// EvResilience records a resilience-layer incident — a cancelled run,
 	// a retried cache write, a watchdog trip; Label carries the detail.
 	EvResilience
+	// EvPolicyFault records a sandboxed TLP policy misbehaving — a panic
+	// in OnSample, a blown decision time budget, or an invalid decision —
+	// and the run degrading to the fallback decision; Label carries the
+	// fault detail.
+	EvPolicyFault
+	// EvPolicySwap records a TLP policy being hot-swapped at a window
+	// boundary; Label names the incoming policy.
+	EvPolicySwap
 )
 
 // String names the kind for CSV/debug output.
@@ -55,6 +63,10 @@ func (k EventKind) String() string {
 		return "progress"
 	case EvResilience:
 		return "resilience"
+	case EvPolicyFault:
+		return "policy-fault"
+	case EvPolicySwap:
+		return "policy-swap"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

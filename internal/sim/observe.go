@@ -134,6 +134,17 @@ func (w *simObs) decision(d tlp.Decision, cycle uint64) {
 	w.j.Record(obs.Event{Cycle: cycle, Kind: obs.EvDecision, App: -1, Label: d.String()})
 }
 
+// policyFault journals a TLP policy misbehaving at a window boundary —
+// a wrong-shaped decision or a rejected hot-swap.
+func (w *simObs) policyFault(label string, cycle uint64) {
+	w.j.Record(obs.Event{Cycle: cycle, Kind: obs.EvPolicyFault, App: -1, Label: label})
+}
+
+// policySwap journals a TLP policy hot-swap taking effect.
+func (w *simObs) policySwap(name string, cycle uint64) {
+	w.j.Record(obs.Event{Cycle: cycle, Kind: obs.EvPolicySwap, App: -1, Label: name})
+}
+
 // warmup journals the warmup boundary (measurement starts here).
 func (w *simObs) warmup(cycle uint64) {
 	w.j.Record(obs.Event{Cycle: cycle, Kind: obs.EvWarmup, App: -1})

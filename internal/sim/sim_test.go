@@ -24,6 +24,14 @@ func app(name string) kernel.Params {
 	return p
 }
 
+func staticMgr(name string, tlps []int, bypass []bool) *tlp.Static {
+	m, err := tlp.NewStatic(name, tlps, bypass)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 func TestOptionValidation(t *testing.T) {
 	cases := []Options{
 		{},                   // no apps
@@ -136,7 +144,7 @@ func TestTLPLimitChangesBehaviour(t *testing.T) {
 		s, err := New(Options{
 			Config:       smallCfg(),
 			Apps:         []kernel.Params{app("JPEG")},
-			Manager:      tlp.NewStatic("s", []int{tl}, nil),
+			Manager:      staticMgr("s", []int{tl}, nil),
 			TotalCycles:  30_000,
 			WarmupCycles: 5_000,
 		})
@@ -347,7 +355,7 @@ func TestBypassDecisionApplied(t *testing.T) {
 	s, err := New(Options{
 		Config:       smallCfg(),
 		Apps:         []kernel.Params{app("JPEG")},
-		Manager:      tlp.NewStatic("byp", []int{8}, []bool{true}),
+		Manager:      staticMgr("byp", []int{8}, []bool{true}),
 		TotalCycles:  20_000,
 		WarmupCycles: 2_000,
 	})
@@ -407,7 +415,7 @@ func TestVictimTagTelemetry(t *testing.T) {
 		s, err := New(Options{
 			Config:       smallCfg(),
 			Apps:         []kernel.Params{p},
-			Manager:      tlp.NewStatic("s", []int{24}, nil),
+			Manager:      staticMgr("s", []int{24}, nil),
 			TotalCycles:  30_000,
 			WarmupCycles: 2_000,
 			WindowCycles: 5_000,
@@ -567,7 +575,7 @@ func TestRefreshOptionEndToEnd(t *testing.T) {
 		s, err := New(Options{
 			Config:       cfg,
 			Apps:         []kernel.Params{app("TRD")},
-			Manager:      tlp.NewStatic("s", []int{8}, nil),
+			Manager:      staticMgr("s", []int{8}, nil),
 			TotalCycles:  40_000,
 			WarmupCycles: 5_000,
 		})

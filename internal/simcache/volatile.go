@@ -1,0 +1,38 @@
+package simcache
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// The volatile flag rides the execution context that RunCached hands to
+// its run closure. A layer that degrades the result nondeterministically
+// — the policy sandbox falling back after a panic or a blown decision
+// budget — marks the run volatile, and RunCached then skips persisting
+// it: the cache must only ever hold the deterministic result the spec
+// key promises.
+
+type volatileKey struct{}
+
+type volatileFlag struct{ v atomic.Bool }
+
+// withVolatileFlag attaches a fresh flag for one execution.
+func withVolatileFlag(ctx context.Context) (context.Context, *volatileFlag) {
+	f := &volatileFlag{}
+	return context.WithValue(ctx, volatileKey{}, f), f
+}
+
+// MarkVolatile flags the run owning ctx as degraded: its result is still
+// returned to the caller but will not be persisted to the cache. No-op
+// when ctx carries no flag (a run outside RunCached).
+func MarkVolatile(ctx context.Context) {
+	if f, ok := ctx.Value(volatileKey{}).(*volatileFlag); ok {
+		f.v.Store(true)
+	}
+}
+
+// Volatile reports whether MarkVolatile was called on ctx's run.
+func Volatile(ctx context.Context) bool {
+	f, ok := ctx.Value(volatileKey{}).(*volatileFlag)
+	return ok && f.v.Load()
+}

@@ -1,0 +1,58 @@
+package simcache
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ebm/internal/runner"
+	"ebm/internal/sim"
+)
+
+// A run that marks itself volatile (the policy sandbox degraded it) is
+// returned to the caller but never persisted: a later identical request
+// must re-execute and may then cache its clean result.
+func TestVolatileRunSkipsPersist(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := testSpec()
+	want := awkwardResult()
+
+	got, err := RunCached(nil, c, nil, runner.PriEval, rs, func(ctx context.Context) (sim.Result, error) {
+		MarkVolatile(ctx)
+		if !Volatile(ctx) {
+			t.Error("Volatile not visible inside the marked run")
+		}
+		return want, nil
+	})
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("volatile run: %v %v", got, err)
+	}
+	if _, ok := c.Get(Key(rs)); ok {
+		t.Fatal("volatile result was persisted")
+	}
+	if st := c.Stats(); st.Writes != 0 {
+		t.Fatalf("volatile run counted %d writes", st.Writes)
+	}
+
+	// The clean re-run caches normally.
+	if _, err := RunCached(nil, c, nil, runner.PriEval, rs, func(context.Context) (sim.Result, error) {
+		return want, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(Key(rs)); !ok {
+		t.Fatal("clean re-run did not persist")
+	}
+}
+
+// MarkVolatile outside a RunCached execution is a safe no-op.
+func TestMarkVolatileWithoutFlagIsNoop(t *testing.T) {
+	ctx := context.Background()
+	MarkVolatile(ctx)
+	if Volatile(ctx) {
+		t.Fatal("bare context reported volatile")
+	}
+}

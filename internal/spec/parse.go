@@ -2,7 +2,6 @@ package spec
 
 import (
 	"fmt"
-	"slices"
 	"strconv"
 	"strings"
 )
@@ -14,37 +13,21 @@ import (
 //	        | key "=" value
 //
 // Bare integers build the TLP combination ("static:2,8"). Knob keys are
-// per kind (see knobHelp); list-valued knobs join elements with "+"
-// since "," separates args ("pbs-ws:sweep=1+4+16"). String emits only
-// knobs that differ from the kind's defaults, so ParseScheme(String)
-// reproduces the normalized spec exactly.
-
-// knobHelp lists each kind's knob keys for help and error text.
-var knobHelp = map[string]string{
-	KindStatic:    "bypass=tf…",
-	KindBestTLP:   "bypass=tf…",
-	KindMaxTLP:    "",
-	KindDynCTA:    "himem lomem loutil hyst",
-	KindCCWS:      "hivta lovta loutil hyst",
-	KindModBypass: "l1mr confirm probe",
-	KindPBSWS:     "scaling sweep settle measure patience fullevery drift driftwin",
-	KindPBSFI:     "scaling sweep settle measure patience fullevery drift driftwin",
-	KindPBSHS:     "scaling sweep settle measure patience fullevery drift driftwin",
-}
-
-// FlagHelp renders the -scheme usage line from the registry, so help
-// text can never drift from the supported kinds.
-func FlagHelp() string {
-	return strings.Join(Kinds(), "|") +
-		"; optional :args — TLP levels for static/besttlp (static:2,8), key=value knobs otherwise (see README)"
-}
+// per kind (each registered Descriptor declares its KnobDefs); list-valued
+// knobs join elements with "+" since "," separates args
+// ("pbs-ws:sweep=1+4+16"). String emits only knobs that differ from the
+// kind's defaults, so ParseScheme(String) reproduces the normalized spec
+// exactly. Both directions dispatch through the registry, so a kind
+// registered out of tree parses and prints with no changes here.
 
 // ParseScheme parses the flag-string grammar into a normalized
 // SchemeSpec. It is the inverse of String.
 func ParseScheme(s string) (SchemeSpec, error) {
 	kind, args, hasArgs := strings.Cut(strings.TrimSpace(s), ":")
 	sp := SchemeSpec{Kind: kind}
-	if _, err := sp.Normalized(); err != nil {
+	d, ok := lookup(kind)
+	if !ok {
+		_, err := sp.Normalized() // the canonical unknown-kind error
 		return SchemeSpec{}, err
 	}
 	if hasArgs && strings.TrimSpace(args) == "" {
@@ -58,7 +41,7 @@ func ParseScheme(s string) (SchemeSpec, error) {
 		key, val, isKnob := strings.Cut(tok, "=")
 		if !isKnob {
 			lvl, err := strconv.Atoi(tok)
-			if err != nil || (kind != KindStatic && kind != KindBestTLP) {
+			if err != nil || !d.AcceptsTLPs {
 				return SchemeSpec{}, badArg(kind, tok)
 			}
 			if sp.Static == nil {
@@ -67,140 +50,21 @@ func ParseScheme(s string) (SchemeSpec, error) {
 			sp.Static.TLPs = append(sp.Static.TLPs, lvl)
 			continue
 		}
-		if err := setKnob(&sp, kind, key, val); err != nil {
+		if err := setKnob(d, &sp, key, val); err != nil {
 			return SchemeSpec{}, err
 		}
 	}
 	return sp.Normalized()
 }
 
-func badArg(kind, tok string) error {
-	help := knobHelp[kind]
-	if help == "" {
-		help = "none"
-	}
-	return fmt.Errorf("spec: bad %s arg %q (knobs: %s)", kind, tok, help)
-}
-
-// setKnob applies one key=value token to the kind's sub-spec.
-func setKnob(sp *SchemeSpec, kind, key, val string) error {
-	f := func(dst *float64) error {
-		v, err := strconv.ParseFloat(val, 64)
-		if err != nil {
-			return badArg(kind, key+"="+val)
-		}
-		*dst = v
-		return nil
-	}
-	i := func(dst *int) error {
-		v, err := strconv.Atoi(val)
-		if err != nil {
-			return badArg(kind, key+"="+val)
-		}
-		*dst = v
-		return nil
-	}
-	switch kind {
-	case KindStatic, KindBestTLP:
-		if key != "bypass" {
-			return badArg(kind, key+"="+val)
-		}
-		if sp.Static == nil {
-			sp.Static = &StaticSpec{}
-		}
-		mask := make([]bool, len(val))
-		for j := 0; j < len(val); j++ {
-			switch val[j] {
-			case 't':
-				mask[j] = true
-			case 'f':
-			default:
-				return fmt.Errorf("spec: bypass mask %q must be t/f per application", val)
-			}
-		}
-		sp.Static.Bypass = mask
-		return nil
-	case KindDynCTA:
-		if sp.DynCTA == nil {
-			sp.DynCTA = &DynCTASpec{}
-		}
-		d := sp.DynCTA
-		switch key {
-		case "himem":
-			return f(&d.HighMemStall)
-		case "lomem":
-			return f(&d.LowMemStall)
-		case "loutil":
-			return f(&d.LowUtil)
-		case "hyst":
-			return i(&d.Hysteresis)
-		}
-	case KindCCWS:
-		if sp.CCWS == nil {
-			sp.CCWS = &CCWSSpec{}
-		}
-		c := sp.CCWS
-		switch key {
-		case "hivta":
-			return f(&c.HighVTA)
-		case "lovta":
-			return f(&c.LowVTA)
-		case "loutil":
-			return f(&c.LowUtil)
-		case "hyst":
-			return i(&c.Hysteresis)
-		}
-	case KindModBypass:
-		if sp.ModBypass == nil {
-			sp.ModBypass = &ModBypassSpec{}
-		}
-		m := sp.ModBypass
-		switch key {
-		case "l1mr":
-			return f(&m.BypassL1MR)
-		case "confirm":
-			return i(&m.Confirm)
-		case "probe":
-			return i(&m.ProbeEvery)
-		}
-	case KindPBSWS, KindPBSFI, KindPBSHS:
-		if sp.PBS == nil {
-			sp.PBS = &PBSSpec{}
-		}
-		p := sp.PBS
-		switch key {
-		case "scaling":
-			if _, err := scaleMode(val); err != nil {
-				return err
-			}
-			p.Scaling = val
-			return nil
-		case "sweep":
-			var levels []int
-			for _, part := range strings.Split(val, "+") {
-				lvl, err := strconv.Atoi(part)
-				if err != nil {
-					return badArg(kind, key+"="+val)
-				}
-				levels = append(levels, lvl)
-			}
-			p.SweepLevels = levels
-			return nil
-		case "settle":
-			return i(&p.SettleWindows)
-		case "measure":
-			return i(&p.MeasureWindows)
-		case "patience":
-			return i(&p.TunePatience)
-		case "fullevery":
-			return i(&p.FullSearchEvery)
-		case "drift":
-			return f(&p.DriftThreshold)
-		case "driftwin":
-			return i(&p.DriftWindows)
+// setKnob applies one key=value token via the kind's knob table.
+func setKnob(d *Descriptor, sp *SchemeSpec, key, val string) error {
+	for _, k := range d.Knobs {
+		if k.Key == key {
+			return k.Set(sp, val)
 		}
 	}
-	return badArg(kind, key+"="+val)
+	return badArg(d.Kind, key+"="+val)
 }
 
 // String renders the spec in the flag-string grammar, emitting only
@@ -212,70 +76,10 @@ func (s SchemeSpec) String() string {
 	if err != nil {
 		return s.Kind
 	}
+	d, _ := lookup(n.Kind)
 	var args []string
-	num := func(key string, v, def float64) {
-		if v != def {
-			args = append(args, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
-		}
-	}
-	ival := func(key string, v, def int) {
-		if v != def {
-			args = append(args, key+"="+strconv.Itoa(v))
-		}
-	}
-	switch n.Kind {
-	case KindStatic, KindBestTLP:
-		for _, t := range n.Static.TLPs {
-			args = append(args, strconv.Itoa(t))
-		}
-		if n.Static.Bypass != nil {
-			mask := make([]byte, len(n.Static.Bypass))
-			for j, b := range n.Static.Bypass {
-				if b {
-					mask[j] = 't'
-				} else {
-					mask[j] = 'f'
-				}
-			}
-			args = append(args, "bypass="+string(mask))
-		}
-	case KindDynCTA:
-		def := defaultDynCTA()
-		num("himem", n.DynCTA.HighMemStall, def.HighMemStall)
-		num("lomem", n.DynCTA.LowMemStall, def.LowMemStall)
-		num("loutil", n.DynCTA.LowUtil, def.LowUtil)
-		ival("hyst", n.DynCTA.Hysteresis, def.Hysteresis)
-	case KindCCWS:
-		def := defaultCCWS()
-		num("hivta", n.CCWS.HighVTA, def.HighVTA)
-		num("lovta", n.CCWS.LowVTA, def.LowVTA)
-		num("loutil", n.CCWS.LowUtil, def.LowUtil)
-		ival("hyst", n.CCWS.Hysteresis, def.Hysteresis)
-	case KindModBypass:
-		def := defaultModBypass()
-		num("l1mr", n.ModBypass.BypassL1MR, def.BypassL1MR)
-		ival("confirm", n.ModBypass.Confirm, def.Confirm)
-		ival("probe", n.ModBypass.ProbeEvery, def.ProbeEvery)
-	case KindPBSWS, KindPBSFI, KindPBSHS:
-		def := defaultPBS(n.Kind)
-		if n.PBS.Scaling != def.Scaling {
-			args = append(args, "scaling="+n.PBS.Scaling)
-		}
-		if !slices.Equal(n.PBS.SweepLevels, def.SweepLevels) {
-			parts := make([]string, len(n.PBS.SweepLevels))
-			for j, lvl := range n.PBS.SweepLevels {
-				parts[j] = strconv.Itoa(lvl)
-			}
-			args = append(args, "sweep="+strings.Join(parts, "+"))
-		}
-		ival("settle", n.PBS.SettleWindows, def.SettleWindows)
-		ival("measure", n.PBS.MeasureWindows, def.MeasureWindows)
-		ival("patience", n.PBS.TunePatience, def.TunePatience)
-		ival("fullevery", n.PBS.FullSearchEvery, def.FullSearchEvery)
-		num("drift", n.PBS.DriftThreshold, 0)
-		if n.PBS.DriftThreshold != 0 {
-			ival("driftwin", n.PBS.DriftWindows, 1)
-		}
+	if d.Format != nil {
+		args = d.Format(n)
 	}
 	if len(args) == 0 {
 		return n.Kind

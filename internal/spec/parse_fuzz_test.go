@@ -1,0 +1,52 @@
+package spec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScheme drives arbitrary strings through the flag grammar.
+// Invariants: ParseScheme never panics; an accepted spec re-renders
+// through String() to a string that parses back to the identical spec
+// (the fixed point the cache key relies on); and validation/manager
+// construction on the parsed spec never panics either.
+func FuzzParseScheme(f *testing.F) {
+	for _, s := range grammarCorpus() {
+		f.Add(s)
+	}
+	// Representative rejects: unknown kind, bad knob, dangling colon,
+	// malformed numbers, knobs on kinds that take none.
+	for _, s := range []string{
+		"", ":", "static", "static:", "static:0", "static:a,b",
+		"nosuchkind", "nosuchkind:1,2", "maxtlp:4", "dyncta:bogus=1",
+		"ccws:hivta=", "pbs-ws:sweep=", "batch:period=x", "wrs:share=-1",
+		"static:2,8,bypass=xy", "pbs-ws:scaling=wat",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseScheme(s)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatalf("ParseScheme(%q): empty error", s)
+			}
+			return
+		}
+		rendered := sp.String()
+		back, err := ParseScheme(rendered)
+		if err != nil {
+			t.Fatalf("ParseScheme(%q) accepted but its rendering %q does not reparse: %v",
+				s, rendered, err)
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Fatalf("round trip not a fixed point:\n input %q -> %#v\n via %q -> %#v",
+				s, sp, rendered, back)
+		}
+		// Validation and construction must fail cleanly, never panic.
+		if err := sp.Validate(2); err == nil {
+			if _, err := sp.Manager(2); err != nil {
+				t.Fatalf("%q validated for 2 apps but Manager failed: %v", rendered, err)
+			}
+		}
+	})
+}

@@ -19,13 +19,14 @@ import (
 	"fmt"
 	"slices"
 
-	"ebm/internal/config"
 	pbscore "ebm/internal/core"
 	"ebm/internal/metrics"
 	"ebm/internal/tlp"
 )
 
-// Scheme kinds, as written in flag strings and JSON.
+// Scheme kinds, as written in flag strings and JSON. The names are
+// constants for call-site convenience; the authoritative list is the
+// registry (Kinds()), which out-of-tree kinds extend via Register.
 const (
 	KindStatic    = "static"
 	KindBestTLP   = "besttlp"
@@ -36,15 +37,9 @@ const (
 	KindPBSWS     = "pbs-ws"
 	KindPBSFI     = "pbs-fi"
 	KindPBSHS     = "pbs-hs"
+	KindBatch     = "batch"
+	KindWRS       = "wrs"
 )
-
-// Kinds returns every registered scheme kind in presentation order.
-func Kinds() []string {
-	return []string{
-		KindStatic, KindBestTLP, KindMaxTLP, KindDynCTA,
-		KindModBypass, KindCCWS, KindPBSWS, KindPBSFI, KindPBSHS,
-	}
-}
 
 // StaticSpec parameterizes the static and besttlp kinds.
 type StaticSpec struct {
@@ -122,6 +117,8 @@ type SchemeSpec struct {
 	CCWS      *CCWSSpec      `json:"ccws,omitempty"`
 	ModBypass *ModBypassSpec `json:"modbypass,omitempty"`
 	PBS       *PBSSpec       `json:"pbs,omitempty"`
+	Batch     *BatchSpec     `json:"batch,omitempty"`
+	WRS       *WRSSpec       `json:"wrs,omitempty"`
 }
 
 // Static returns a fixed-TLP-combination scheme (bypass may be nil).
@@ -256,82 +253,13 @@ func mustNormalize(s SchemeSpec) SchemeSpec {
 // kind's default, all-false bypass masks dropped, and sub-specs the kind
 // does not read cleared — the form in which two equivalent specs compare
 // (and hash) equal. ParseScheme and the constructors always return
-// normalized specs. Unknown kinds are an error.
+// normalized specs. Unknown (unregistered) kinds are an error.
 func (s SchemeSpec) Normalized() (SchemeSpec, error) {
-	out := SchemeSpec{Kind: s.Kind}
-	switch s.Kind {
-	case KindStatic, KindBestTLP:
-		st := &StaticSpec{}
-		if s.Static != nil {
-			st.TLPs = slices.Clone(s.Static.TLPs)
-			st.Label = s.Static.Label
-			if slices.Contains(s.Static.Bypass, true) {
-				st.Bypass = slices.Clone(s.Static.Bypass)
-			}
-		}
-		out.Static = st
-	case KindMaxTLP:
-		// No knobs.
-	case KindDynCTA:
-		d := defaultDynCTA()
-		if s.DynCTA != nil {
-			fillF(&d.HighMemStall, s.DynCTA.HighMemStall)
-			fillF(&d.LowMemStall, s.DynCTA.LowMemStall)
-			fillF(&d.LowUtil, s.DynCTA.LowUtil)
-			fillI(&d.Hysteresis, s.DynCTA.Hysteresis)
-		}
-		out.DynCTA = d
-	case KindCCWS:
-		c := defaultCCWS()
-		if s.CCWS != nil {
-			fillF(&c.HighVTA, s.CCWS.HighVTA)
-			fillF(&c.LowVTA, s.CCWS.LowVTA)
-			fillF(&c.LowUtil, s.CCWS.LowUtil)
-			fillI(&c.Hysteresis, s.CCWS.Hysteresis)
-		}
-		out.CCWS = c
-	case KindModBypass:
-		m := defaultModBypass()
-		if s.ModBypass != nil {
-			fillF(&m.BypassL1MR, s.ModBypass.BypassL1MR)
-			fillI(&m.Confirm, s.ModBypass.Confirm)
-			fillI(&m.ProbeEvery, s.ModBypass.ProbeEvery)
-		}
-		if m.ProbeEvery < 0 {
-			m.ProbeEvery = -1 // every non-positive value means "never probe"
-		}
-		out.ModBypass = m
-	case KindPBSWS, KindPBSFI, KindPBSHS:
-		p := defaultPBS(s.Kind)
-		if s.PBS != nil {
-			if s.PBS.Scaling != "" {
-				p.Scaling = s.PBS.Scaling
-			}
-			if len(s.PBS.SweepLevels) > 0 {
-				p.SweepLevels = slices.Clone(s.PBS.SweepLevels)
-			}
-			p.GroupEB = slices.Clone(s.PBS.GroupEB)
-			fillI(&p.SettleWindows, s.PBS.SettleWindows)
-			fillI(&p.MeasureWindows, s.PBS.MeasureWindows)
-			fillI(&p.TunePatience, s.PBS.TunePatience)
-			fillI(&p.FullSearchEvery, s.PBS.FullSearchEvery)
-			p.DriftThreshold = s.PBS.DriftThreshold
-			p.DriftWindows = s.PBS.DriftWindows
-		}
-		// The drift detector is one feature: no threshold means the window
-		// count is dead, and an enabled detector acts on at least one
-		// window — normalize both so equivalent configs compare equal.
-		if p.DriftThreshold == 0 {
-			p.DriftWindows = 0
-		} else if p.DriftWindows == 0 {
-			p.DriftWindows = 1
-		}
-		p.SweepLevels = slices.Clone(p.SweepLevels)
-		out.PBS = p
-	default:
+	d, ok := lookup(s.Kind)
+	if !ok {
 		return SchemeSpec{}, fmt.Errorf("spec: unknown scheme kind %q (one of %v)", s.Kind, Kinds())
 	}
-	return out, nil
+	return d.Normalize(s), nil
 }
 
 // fillF/fillI overwrite the default with an explicitly set (non-zero)
@@ -361,84 +289,8 @@ func (s SchemeSpec) Validate(numApps int) error {
 	if numApps < 0 {
 		return fmt.Errorf("spec: negative application count %d", numApps)
 	}
-	switch n.Kind {
-	case KindStatic, KindBestTLP:
-		if s.Unresolved() {
-			return fmt.Errorf("spec: besttlp combination unresolved; resolve it from alone profiles (spec.BestTLP)")
-		}
-		st := n.Static
-		if len(st.TLPs) == 0 {
-			return fmt.Errorf("spec: %s needs a TLP combination, e.g. %q", n.Kind, n.Kind+":2,8")
-		}
-		if numApps > 0 && len(st.TLPs) != numApps {
-			return fmt.Errorf("spec: %s has %d TLP values for %d applications", n.Kind, len(st.TLPs), numApps)
-		}
-		for _, t := range st.TLPs {
-			if t < 1 || t > config.MaxTLP {
-				return fmt.Errorf("spec: TLP %d out of range 1..%d", t, config.MaxTLP)
-			}
-		}
-		if st.Bypass != nil && len(st.Bypass) != len(st.TLPs) {
-			return fmt.Errorf("spec: bypass mask has %d values for %d applications", len(st.Bypass), len(st.TLPs))
-		}
-	case KindMaxTLP:
-		if numApps == 0 {
-			return fmt.Errorf("spec: maxtlp needs the application count")
-		}
-	case KindDynCTA:
-		d := n.DynCTA
-		if d.Hysteresis < 1 {
-			return fmt.Errorf("spec: dyncta hysteresis %d < 1", d.Hysteresis)
-		}
-		if d.LowMemStall >= d.HighMemStall {
-			return fmt.Errorf("spec: dyncta lomem %g >= himem %g", d.LowMemStall, d.HighMemStall)
-		}
-	case KindCCWS:
-		c := n.CCWS
-		if c.Hysteresis < 1 {
-			return fmt.Errorf("spec: ccws hysteresis %d < 1", c.Hysteresis)
-		}
-		if c.LowVTA >= c.HighVTA {
-			return fmt.Errorf("spec: ccws lovta %g >= hivta %g", c.LowVTA, c.HighVTA)
-		}
-	case KindModBypass:
-		m := n.ModBypass
-		if m.BypassL1MR <= 0 || m.BypassL1MR > 1 {
-			return fmt.Errorf("spec: modbypass l1mr %g outside (0,1]", m.BypassL1MR)
-		}
-		if m.Confirm < 1 {
-			return fmt.Errorf("spec: modbypass confirm %d < 1", m.Confirm)
-		}
-	default: // pbs-*
-		p := n.PBS
-		mode, err := scaleMode(p.Scaling)
-		if err != nil {
-			return err
-		}
-		if mode == pbscore.GroupScale {
-			if len(p.GroupEB) == 0 {
-				return fmt.Errorf("spec: %s group scaling needs per-application group_eb factors", n.Kind)
-			}
-			if numApps > 0 && len(p.GroupEB) != numApps {
-				return fmt.Errorf("spec: %s has %d group_eb factors for %d applications", n.Kind, len(p.GroupEB), numApps)
-			}
-		}
-		if len(p.SweepLevels) == 0 {
-			return fmt.Errorf("spec: %s needs sweep levels", n.Kind)
-		}
-		for _, t := range p.SweepLevels {
-			if t < 1 || t > config.MaxTLP {
-				return fmt.Errorf("spec: sweep level %d out of range 1..%d", t, config.MaxTLP)
-			}
-		}
-		if p.MeasureWindows < 1 || p.SettleWindows < 0 {
-			return fmt.Errorf("spec: %s measure_windows %d / settle_windows %d invalid", n.Kind, p.MeasureWindows, p.SettleWindows)
-		}
-		if p.DriftThreshold < 0 || p.DriftWindows < 0 {
-			return fmt.Errorf("spec: %s drift knobs must be non-negative", n.Kind)
-		}
-	}
-	return nil
+	d, _ := lookup(n.Kind) // Normalized already proved the kind is registered
+	return d.Validate(n, numApps)
 }
 
 // Manager validates the spec and builds the tlp.Manager it describes —
@@ -450,64 +302,17 @@ func (s SchemeSpec) Manager(numApps int) (tlp.Manager, error) {
 		return nil, err
 	}
 	n, _ := s.Normalized() // Validate already proved it normalizes
-	switch n.Kind {
-	case KindStatic:
-		name := n.Static.Label
-		if name == "" {
-			name = fmt.Sprintf("static%v", n.Static.TLPs)
-		}
-		return tlp.NewStatic(name, n.Static.TLPs, n.Static.Bypass), nil
-	case KindBestTLP:
-		name := n.Static.Label
-		if name == "" {
-			// The combination is part of the name so reports distinguish
-			// runs even when re-profiling changes the best TLPs.
-			name = fmt.Sprintf("++bestTLP%v", n.Static.TLPs)
-		}
-		return tlp.NewStatic(name, n.Static.TLPs, n.Static.Bypass), nil
-	case KindMaxTLP:
-		return tlp.NewMaxTLP(numApps), nil
-	case KindDynCTA:
-		d := tlp.NewDynCTA()
-		d.HighMemStall = n.DynCTA.HighMemStall
-		d.LowMemStall = n.DynCTA.LowMemStall
-		d.LowUtil = n.DynCTA.LowUtil
-		d.Hysteresis = n.DynCTA.Hysteresis
-		return d, nil
-	case KindCCWS:
-		c := tlp.NewCCWS()
-		c.HighVTA = n.CCWS.HighVTA
-		c.LowVTA = n.CCWS.LowVTA
-		c.LowUtil = n.CCWS.LowUtil
-		c.Hysteresis = n.CCWS.Hysteresis
-		return c, nil
-	case KindModBypass:
-		m := tlp.NewModBypass()
-		m.BypassL1MR = n.ModBypass.BypassL1MR
-		m.Confirm = n.ModBypass.Confirm
-		m.ProbeEvery = n.ModBypass.ProbeEvery
-		return m, nil
-	default: // pbs-*
-		p := pbscore.NewPBS(objective(n.Kind))
-		mode, _ := scaleMode(n.PBS.Scaling) // validated above
-		p.Scaling = mode
-		p.GroupValues = slices.Clone(n.PBS.GroupEB)
-		p.SweepLevels = slices.Clone(n.PBS.SweepLevels)
-		p.SettleWindows = n.PBS.SettleWindows
-		p.MeasureWindows = n.PBS.MeasureWindows
-		p.TunePatience = n.PBS.TunePatience
-		p.FullSearchEvery = n.PBS.FullSearchEvery
-		p.DriftThreshold = n.PBS.DriftThreshold
-		p.DriftWindows = n.PBS.DriftWindows
-		return p, nil
-	}
+	d, _ := lookup(n.Kind)
+	return d.Factory(n, numApps)
 }
 
-// MustManager is Manager for specs known valid by construction.
+// MustManager is Manager for specs known valid by construction. The
+// panic carries the scheme's flag-grammar string, not just its kind, so
+// a bad spec is debuggable from the stack trace alone.
 func MustManager(s SchemeSpec, numApps int) tlp.Manager {
 	m, err := s.Manager(numApps)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("spec: MustManager(%q, %d apps): %w", s.String(), numApps, err))
 	}
 	return m
 }
@@ -543,22 +348,9 @@ func (s SchemeSpec) canonical(numApps int) SchemeSpec {
 	if err != nil {
 		return s
 	}
-	switch n.Kind {
-	case KindMaxTLP:
-		if numApps <= 0 {
-			return n
-		}
-		tlps := make([]int, numApps)
-		for i := range tlps {
-			tlps[i] = config.MaxTLP
-		}
-		return SchemeSpec{Kind: KindStatic, Static: &StaticSpec{TLPs: tlps}}
-	case KindStatic, KindBestTLP:
-		if s.Unresolved() {
-			return n
-		}
-		return SchemeSpec{Kind: KindStatic, Static: &StaticSpec{TLPs: n.Static.TLPs, Bypass: n.Static.Bypass}}
-	default:
+	d, _ := lookup(n.Kind)
+	if d.Canonical == nil {
 		return n
 	}
+	return d.Canonical(n, numApps)
 }

@@ -19,57 +19,66 @@ func numAppsFor(s SchemeSpec) int {
 	return 2
 }
 
-// gridSpecs enumerates every kind crossed with a grid of knob settings:
-// the defaults, each knob individually off-default, and a combined
-// variant. Every entry must survive both round trips.
-func gridSpecs(t *testing.T) []SchemeSpec {
-	t.Helper()
-	var out []SchemeSpec
-	add := func(s string) {
-		sp, err := ParseScheme(s)
-		if err != nil {
-			t.Fatalf("grid spec %q: %v", s, err)
-		}
-		out = append(out, sp)
+// grammarCorpus enumerates every kind crossed with a grid of knob
+// settings: the defaults, each knob individually off-default, and a
+// combined variant. It backs both the exhaustive round-trip test (every
+// entry must survive both round trips) and the FuzzParseScheme seed set.
+func grammarCorpus() []string {
+	out := []string{
+		"static:4",
+		"static:2,8",
+		"static:2,8,24",
+		"static:2,8,bypass=tf",
+		"static:24,24,bypass=tt",
+		"besttlp:2,8",
+		"besttlp:6,6,bypass=ft",
+		"maxtlp",
+
+		"dyncta",
+		"dyncta:himem=0.6", "dyncta:lomem=0.1", "dyncta:loutil=0.5", "dyncta:hyst=4",
+		"dyncta:himem=0.9,lomem=0.05,loutil=0.3,hyst=1",
+
+		"ccws",
+		"ccws:hivta=0.3", "ccws:lovta=0.01", "ccws:loutil=0.5", "ccws:hyst=5",
+		"ccws:hivta=0.2,lovta=0.1,hyst=3",
+
+		"modbypass",
+		"modbypass:l1mr=0.5", "modbypass:confirm=5", "modbypass:probe=-1", "modbypass:probe=64",
+		"modbypass:l1mr=0.99,confirm=1,probe=16",
+
+		"batch",
+		"batch:period=4", "batch:hi=16", "batch:lo=1",
+		"batch:period=2,hi=12,lo=4",
+
+		"wrs",
+		"wrs:share=4", "wrs:himem=0.8", "wrs:loutil=0.5", "wrs:hyst=3",
+		"wrs:share=12,himem=0.4,loutil=0.9,hyst=1",
 	}
-
-	add("static:4")
-	add("static:2,8")
-	add("static:2,8,24")
-	add("static:2,8,bypass=tf")
-	add("static:24,24,bypass=tt")
-	add("besttlp:2,8")
-	add("besttlp:6,6,bypass=ft")
-	add("maxtlp")
-
-	add("dyncta")
-	for _, knob := range []string{"himem=0.6", "lomem=0.1", "loutil=0.5", "hyst=4"} {
-		add("dyncta:" + knob)
-	}
-	add("dyncta:himem=0.9,lomem=0.05,loutil=0.3,hyst=1")
-
-	add("ccws")
-	for _, knob := range []string{"hivta=0.3", "lovta=0.01", "loutil=0.5", "hyst=5"} {
-		add("ccws:" + knob)
-	}
-	add("ccws:hivta=0.2,lovta=0.1,hyst=3")
-
-	add("modbypass")
-	for _, knob := range []string{"l1mr=0.5", "confirm=5", "probe=-1", "probe=64"} {
-		add("modbypass:" + knob)
-	}
-	add("modbypass:l1mr=0.99,confirm=1,probe=16")
-
 	for _, kind := range []string{KindPBSWS, KindPBSFI, KindPBSHS} {
-		add(kind)
+		out = append(out, kind)
 		for _, knob := range []string{
 			"scaling=none", "scaling=sampled", "sweep=1+4+16", "sweep=2",
 			"settle=3", "measure=5", "patience=1", "fullevery=9",
 			"drift=0.6", "drift=0.6,driftwin=4",
 		} {
-			add(kind + ":" + knob)
+			out = append(out, kind+":"+knob)
 		}
-		add(kind + ":sweep=1+2+4+8,measure=3,drift=0.25,driftwin=2")
+		out = append(out, kind+":sweep=1+2+4+8,measure=3,drift=0.25,driftwin=2")
+	}
+	return out
+}
+
+// gridSpecs parses the grammar corpus and appends the JSON-only
+// variants. Every entry must survive both round trips.
+func gridSpecs(t *testing.T) []SchemeSpec {
+	t.Helper()
+	var out []SchemeSpec
+	for _, s := range grammarCorpus() {
+		sp, err := ParseScheme(s)
+		if err != nil {
+			t.Fatalf("grid spec %q: %v", s, err)
+		}
+		out = append(out, sp)
 	}
 
 	// JSON-only features: display labels and group scaling factors.
@@ -305,8 +314,8 @@ func TestFlagHelpAndKindsComplete(t *testing.T) {
 		if !strings.Contains(help, k) {
 			t.Errorf("FlagHelp missing kind %q: %s", k, help)
 		}
-		if _, ok := knobHelp[k]; !ok {
-			t.Errorf("knobHelp missing kind %q", k)
+		if _, ok := Lookup(k); !ok {
+			t.Errorf("registry missing kind %q", k)
 		}
 		// Every kind parses bare; every kind except besttlp (unresolved
 		// until profiled) and maxtlp-with-unknown-count builds a manager.

@@ -1,0 +1,64 @@
+package tlp
+
+import "ebm/internal/config"
+
+// Batch implements a thread-batching policy in the spirit of Li et al.'s
+// throughput-oriented thread batching: instead of every application
+// holding a mid-level warp allocation all the time, the applications take
+// turns as the "batched" one — the active application runs at a high TLP
+// for a fixed number of sampling windows while the others idle at a low
+// TLP, then the turn rotates. Concentrating the warp budget on one
+// application at a time keeps its cache footprint and row-buffer locality
+// intact (the property thread batching exploits), at the cost of latency
+// fairness — which is exactly the trade-off the paper's comparison column
+// is meant to expose.
+type Batch struct {
+	// Period is how many sampling windows one application stays active
+	// before the turn rotates.
+	Period int
+	// Hi is the active application's TLP; Lo is everyone else's.
+	Hi int
+	Lo int
+
+	win uint64 // completed sampling windows since Initial
+	cur Decision
+}
+
+// NewBatch returns the thread-batching policy with its default knobs:
+// 8-window turns, the full warp budget for the active application, and a
+// trickle of 2 warps for the parked ones (enough to keep their kernels
+// making forward progress between turns).
+func NewBatch() *Batch {
+	return &Batch{Period: 8, Hi: config.MaxTLP, Lo: 2}
+}
+
+// Name implements Manager.
+func (b *Batch) Name() string { return "++Batch" }
+
+// decide computes the rotation's decision for the current window count.
+func (b *Batch) decide(numApps int) Decision {
+	d := NewDecision(numApps, b.Lo)
+	if numApps > 0 {
+		active := int(b.win/uint64(b.Period)) % numApps
+		d.TLP[active] = b.Hi
+	}
+	return d
+}
+
+// Initial implements Manager: application 0 owns the first turn.
+func (b *Batch) Initial(numApps int) Decision {
+	b.win = 0
+	b.cur = b.decide(numApps)
+	return b.cur.Clone()
+}
+
+// OnSample implements Manager: advance the window clock and rotate the
+// active application every Period windows.
+func (b *Batch) OnSample(s Sample) Decision {
+	if b.cur.TLP == nil {
+		b.Initial(len(s.Apps))
+	}
+	b.win++
+	b.cur = b.decide(len(s.Apps))
+	return b.cur.Clone()
+}

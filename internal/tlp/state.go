@@ -86,6 +86,46 @@ func (c *CCWS) SetStateBytes(b []byte) error {
 	return nil
 }
 
+// batchState mirrors Batch: the rotation clock plus the current decision.
+type batchState struct {
+	Win    uint64
+	TLP    []int
+	Bypass []bool
+}
+
+// StateBytes implements Stater.
+func (b *Batch) StateBytes() ([]byte, error) {
+	return EncodeState(batchState{Win: b.win, TLP: b.cur.TLP, Bypass: b.cur.BypassL1})
+}
+
+// SetStateBytes implements Stater.
+func (b *Batch) SetStateBytes(bs []byte) error {
+	var st batchState
+	if err := DecodeState(bs, &st); err != nil {
+		return fmt.Errorf("tlp: batch state: %w", err)
+	}
+	b.win = st.Win
+	b.cur = Decision{TLP: st.TLP, BypassL1: st.Bypass}
+	return nil
+}
+
+// StateBytes implements Stater: WRS shares the vote-hysteresis state
+// shape of the modulating managers.
+func (w *WRS) StateBytes() ([]byte, error) {
+	return EncodeState(modState{Votes: w.votes, TLP: w.cur.TLP, Bypass: w.cur.BypassL1})
+}
+
+// SetStateBytes implements Stater.
+func (w *WRS) SetStateBytes(b []byte) error {
+	var st modState
+	if err := DecodeState(b, &st); err != nil {
+		return fmt.Errorf("tlp: wrs state: %w", err)
+	}
+	w.votes = st.Votes
+	w.cur = Decision{TLP: st.TLP, BypassL1: st.Bypass}
+	return nil
+}
+
 // modBypassState mirrors ModBypass: the wrapped modulator's state plus the
 // bypass probation machine.
 type modBypassState struct {

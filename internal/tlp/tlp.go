@@ -141,9 +141,21 @@ type Static struct {
 	bypass []bool
 }
 
-// NewStatic builds a static policy. bypass may be nil.
-func NewStatic(name string, tlps []int, bypass []bool) *Static {
-	return &Static{name: name, tlps: tlps, bypass: bypass}
+// NewStatic builds a static policy. bypass may be nil; when set it must
+// match tlps element for element. The combination length is the policy's
+// application count: it is validated here, once, instead of Initial
+// silently padding a short list with maxTLP (or truncating a long one),
+// which used to turn a malformed spec into a quietly different
+// simulation.
+func NewStatic(name string, tlps []int, bypass []bool) (*Static, error) {
+	if len(tlps) == 0 {
+		return nil, fmt.Errorf("tlp: static policy %q needs at least one TLP value", name)
+	}
+	if bypass != nil && len(bypass) != len(tlps) {
+		return nil, fmt.Errorf("tlp: static policy %q has %d bypass values for %d TLP values",
+			name, len(bypass), len(tlps))
+	}
+	return &Static{name: name, tlps: tlps, bypass: bypass}, nil
 }
 
 // NewMaxTLP returns the ++maxTLP policy for numApps applications.
@@ -152,17 +164,20 @@ func NewMaxTLP(numApps int) *Static {
 	for i := range tlps {
 		tlps[i] = config.MaxTLP
 	}
-	return NewStatic("++maxTLP", tlps, nil)
+	return &Static{name: "++maxTLP", tlps: tlps}
 }
 
 // Name implements Manager.
 func (s *Static) Name() string { return s.name }
 
-// Initial implements Manager.
+// Initial implements Manager: the decision is exactly the constructed
+// combination. A numApps that disagrees with the combination length is a
+// construction-time error (NewStatic) and an engine-level one (sim.New
+// rejects a wrong-length initial decision), so no padding happens here.
 func (s *Static) Initial(numApps int) Decision {
-	d := NewDecision(numApps, config.MaxTLP)
-	for i := 0; i < numApps && i < len(s.tlps); i++ {
-		d.TLP[i] = s.tlps[i]
+	d := Decision{
+		TLP:      append([]int(nil), s.tlps...),
+		BypassL1: make([]bool, len(s.tlps)),
 	}
 	if s.bypass != nil {
 		copy(d.BypassL1, s.bypass)

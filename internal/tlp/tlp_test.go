@@ -72,7 +72,10 @@ func TestDecisionClone(t *testing.T) {
 }
 
 func TestStaticManager(t *testing.T) {
-	m := NewStatic("x", []int{2, 8}, []bool{true, false})
+	m, err := NewStatic("x", []int{2, 8}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
 	d := m.Initial(2)
 	if d.TLP[0] != 2 || d.TLP[1] != 8 || !d.BypassL1[0] || d.BypassL1[1] {
 		t.Fatalf("Initial = %+v", d)
@@ -89,11 +92,21 @@ func TestStaticManager(t *testing.T) {
 	}
 }
 
-func TestStaticShortTLPListDefaultsToMax(t *testing.T) {
-	m := NewStatic("x", []int{2}, nil)
-	d := m.Initial(3)
-	if d.TLP[0] != 2 || d.TLP[1] != config.MaxTLP || d.TLP[2] != config.MaxTLP {
-		t.Fatalf("short list handling: %v", d.TLP)
+func TestStaticConstructionValidates(t *testing.T) {
+	if _, err := NewStatic("x", nil, nil); err == nil {
+		t.Error("empty TLP list accepted")
+	}
+	if _, err := NewStatic("x", []int{2, 8}, []bool{true}); err == nil {
+		t.Error("short bypass mask accepted")
+	}
+	m, err := NewStatic("x", []int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decision is exactly the constructed combination — no silent
+	// padding to a larger application count.
+	if d := m.Initial(3); len(d.TLP) != 1 || d.TLP[0] != 2 {
+		t.Fatalf("Initial = %v, want the 1-app combination unchanged", d.TLP)
 	}
 }
 

@@ -1,0 +1,108 @@
+package tlp
+
+import "ebm/internal/config"
+
+// WRS implements a warp-resource-sharing policy in the spirit of Jatala
+// et al.: the machine's warp budget is conserved rather than per-app
+// capped. Every application starts at an equal fair share, and warp
+// slots migrate from applications that cannot use them (memory-saturated
+// ones, whose extra warps only deepen queueing) to applications that can
+// (busy, latency-limited ones), one TLP level per hysteresis period. The
+// conservation constraint is what distinguishes it from DynCTA-style
+// local modulation: the total allocation, measured in TLP-level indices,
+// never exceeds numApps times the fair share, so one application's gain
+// is always another's (idle) capacity.
+type WRS struct {
+	// Share is the per-application fair-share TLP level; the conserved
+	// machine budget is numApps * LevelIndex(Share) level steps.
+	Share int
+
+	// HighMemStall marks a donor: above this fraction of memory-stalled
+	// idle cycles the application yields a level.
+	HighMemStall float64
+	// LowUtil gates takers: an application below HighMemStall whose
+	// issue utilization is under LowUtil still has latency to hide, so
+	// it bids for a level.
+	LowUtil float64
+
+	// Hysteresis: consecutive windows agreeing before a slot moves.
+	Hysteresis int
+
+	votes []int // + to take, - to donate, per app
+	cur   Decision
+}
+
+// NewWRS returns the warp-resource-sharing policy with its defaults: an
+// 8-warp fair share (the mid TLP level), donors above 50% memory stall,
+// takers under 70% issue utilization, and 2-window hysteresis.
+func NewWRS() *WRS {
+	return &WRS{Share: 8, HighMemStall: 0.5, LowUtil: 0.7, Hysteresis: 2}
+}
+
+// Name implements Manager.
+func (w *WRS) Name() string { return "++WRS" }
+
+// Initial implements Manager: everyone starts at the fair share.
+func (w *WRS) Initial(numApps int) Decision {
+	w.votes = make([]int, numApps)
+	w.cur = NewDecision(numApps, config.ClampToLevel(w.Share))
+	return w.cur.Clone()
+}
+
+// budget is the conserved allocation in TLP-level-index steps.
+func (w *WRS) budget(numApps int) int {
+	return numApps * config.LevelIndex(config.ClampToLevel(w.Share))
+}
+
+// allocated sums the current allocation in level-index steps.
+func (w *WRS) allocated() int {
+	total := 0
+	for _, t := range w.cur.TLP {
+		total += config.LevelIndex(config.ClampToLevel(t))
+	}
+	return total
+}
+
+// OnSample implements Manager. Donors release first so the freed budget
+// is available to takers in the same window; ties break on the lowest
+// application index, keeping the policy deterministic.
+func (w *WRS) OnSample(s Sample) Decision {
+	if w.votes == nil {
+		w.Initial(len(s.Apps))
+	}
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		switch {
+		case a.MemStallFrac > w.HighMemStall:
+			if w.votes[i] > 0 {
+				w.votes[i] = 0
+			}
+			w.votes[i]--
+		case a.IssueUtil < w.LowUtil:
+			if w.votes[i] < 0 {
+				w.votes[i] = 0
+			}
+			w.votes[i]++
+		default:
+			w.votes[i] = 0
+		}
+	}
+	// Donors first: a released level immediately re-enters the pool.
+	for i := range w.cur.TLP {
+		idx := config.LevelIndex(config.ClampToLevel(w.cur.TLP[i]))
+		if w.votes[i] <= -w.Hysteresis && idx > 0 {
+			w.cur.TLP[i] = config.TLPLevels[idx-1]
+			w.votes[i] = 0
+		}
+	}
+	// Takers claim one level each while the conserved budget allows.
+	for i := range w.cur.TLP {
+		idx := config.LevelIndex(config.ClampToLevel(w.cur.TLP[i]))
+		if w.votes[i] >= w.Hysteresis && idx < len(config.TLPLevels)-1 &&
+			w.allocated()+1 <= w.budget(len(s.Apps)) {
+			w.cur.TLP[i] = config.TLPLevels[idx+1]
+			w.votes[i] = 0
+		}
+	}
+	return w.cur.Clone()
+}
