@@ -2,8 +2,9 @@
 
 GO ?= go
 
-.PHONY: all verify race chaos bench obs-bench figs-bench ckpt-bench \
-    trace-bench search-bench policy-bench cover test build
+.PHONY: all verify race chaos dsweep-chaos bench obs-bench figs-bench \
+    ckpt-bench trace-bench search-bench policy-bench dsweep-bench \
+    cover test build
 
 all: verify
 
@@ -25,7 +26,7 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./internal/runner/... ./internal/resilience/... \
 	    ./internal/ckpt/... ./internal/obs/... ./internal/search/... \
-	    ./internal/policy/...
+	    ./internal/policy/... ./internal/dsweep/...
 
 # race runs the short test suite under the race detector (the grid builder
 # and profiler are the only concurrent paths).
@@ -41,6 +42,16 @@ chaos:
 	    . ./internal/sim/... ./internal/simcache/... ./internal/ckpt/... \
 	    ./internal/faultinject/... ./internal/resilience/... \
 	    ./internal/runner/... ./internal/cli/...
+
+# dsweep-chaos runs the distributed-sweep failure storyline (DESIGN.md
+# §15) under the race detector: a worker killed mid-cell, a
+# heartbeat-dropping zombie whose completions are fenced off, injected
+# cache write faults, a coordinator restart from its state checkpoint —
+# ending bit-identical to a single-process sweep — plus the dsweep
+# package's lease/fencing/drain unit tests.
+dsweep-chaos:
+	$(GO) test -race -run 'TestDsweepChaos' .
+	$(GO) test -race ./internal/dsweep/...
 
 # bench snapshots the substrate benchmarks into BENCH_*.json via
 # cmd/benchdiff; BENCH=BENCH_2.json picks the output file, and
@@ -105,6 +116,16 @@ search-bench:
 	$(GO) run ./cmd/benchdiff -pkgs . \
 	    -bench 'AdaptiveVsExhaustive' -benchtime 1x -count 3 -out BENCH_8.json \
 	    -maxratio 'BenchmarkAdaptiveVsExhaustive/adaptive:BenchmarkAdaptiveVsExhaustive/exhaustive=0.5'
+
+# dsweep-bench enforces the distributed-overhead contract (DESIGN.md
+# §15): sweeping the 9-cell grid through the coordinator/worker wire
+# protocol with one worker must stay within 10% of the same sweep run
+# locally and sequentially, measured in the same run. The local/
+# distributed timings are snapshotted into BENCH_10.json.
+dsweep-bench:
+	$(GO) run ./cmd/benchdiff -pkgs . \
+	    -bench 'DistSweep' -benchtime 1x -count 3 -out BENCH_10.json \
+	    -maxratio 'BenchmarkDistSweepOneWorker/BenchmarkDistSweepLocal=1.10'
 
 # cover prints per-package statement coverage and enforces a floor on
 # internal/obs, whose span/ledger/exposition paths this repo's explain

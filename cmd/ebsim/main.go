@@ -113,9 +113,14 @@ func run(ctx context.Context) error {
 			"run the policy inside the sandbox: panics and malformed decisions degrade to a safe fallback instead of aborting; degraded results are never cached")
 		sandboxBudget = fs.Duration("sandbox-budget", 0,
 			"per-decision wall-clock budget under -sandbox, e.g. 10ms (0 = panic isolation only; implies -sandbox)")
+		version = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("ebsim", cli.Version())
+		return nil
 	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {

@@ -56,9 +56,14 @@ func run(ctx context.Context) error {
 		out     = fs.String("out", "", "directory to also write one text file per experiment")
 		ledgerF = fs.String("ledger", "", "append one provenance record per completed run to this JSONL `file` (needs -simcache)")
 		spansF  = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
+		version = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("paperfigs", cli.Version())
+		return nil
 	}
 
 	if *list {

@@ -45,7 +45,17 @@
 // default auto, empty disables) capturing how it was satisfied — cached,
 // forked@depth, or cold — plus retries, injected faults, and cost.
 // `sweep -explain` reads that ledger back and prints the summary
-// (outcome counts, retry/fault totals, slowest runs) without simulating.
+// (outcome counts, retry/fault totals, slowest runs) without simulating;
+// repeated -ledger flags (or a directory of *.jsonl) merge several
+// workers' ledgers, deduplicating records by fingerprint and
+// attributing each run to the worker that satisfied it.
+//
+// `sweep -worker http://host:9900` joins a distributed sweep instead of
+// running one: the process registers with a `sweepd` coordinator,
+// leases grid cells under fencing tokens, executes them through the
+// same -simcache/-ckpt stack, and heartbeats its progress. SIGTERM
+// drains gracefully (the in-flight cell finishes, unstarted leases are
+// released, the worker deregisters) and exits 130.
 // -trace-spans writes the orchestration span tree (sweep → profiling /
 // grid cells → cache get/put → execute) as a Chrome trace-event
 // flamechart for chrome://tracing.
@@ -72,6 +82,7 @@ import (
 	"ebm/internal/ckpt"
 	"ebm/internal/cli"
 	"ebm/internal/config"
+	"ebm/internal/dsweep"
 	"ebm/internal/kernel"
 	"ebm/internal/metrics"
 	"ebm/internal/obs"
@@ -112,23 +123,38 @@ func run(ctx context.Context) error {
 		listen   = fs.String("listen", "", "serve live sweep-progress metrics on this address, e.g. :8080")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to `file`")
-		ledgerF  = fs.String("ledger", "auto",
-			"run-provenance ledger appended one JSON record per completed run "+
-				"(auto = ledger.jsonl beside the -simcache directory; empty disables)")
-		spansF  = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
-		explain = fs.Bool("explain", false, "read the -ledger file and print a provenance summary instead of sweeping")
-		sandbox = fs.Bool("sandbox", false,
+		spansF   = fs.String("trace-spans", "", "write the orchestration spans as a Chrome trace-event `file` at exit")
+		explain  = fs.Bool("explain", false,
+			"read the -ledger file(s) and print a provenance summary instead of sweeping; "+
+				"several -ledger flags (or a directory of *.jsonl) merge, deduplicating by fingerprint and attributing outcomes per worker")
+		workerURL = fs.String("worker", "",
+			"run as a distributed-sweep worker: pull leased cells from the coordinator at this base `URL` (e.g. http://host:9900) until the sweep completes")
+		workerID = fs.String("id", "", "worker identity for -worker (default hostname-pid)")
+		version  = fs.Bool("version", false, "print the build version and exit")
+		sandbox  = fs.Bool("sandbox", false,
 			"run the -schemes policies inside the policy sandbox: a panicking or malformed policy degrades to a safe fallback and the sweep completes; degraded results are not cached")
 		sandboxBudget = fs.Duration("sandbox-budget", 0,
 			"per-decision wall-clock budget for sandboxed -schemes policies, e.g. 10ms (0 = panic isolation only; implies -sandbox)")
 	)
+	var ledgers multiFlag
+	fs.Var(&ledgers, "ledger",
+		"run-provenance ledger appended one JSON record per completed run "+
+			"(auto = ledger.jsonl beside the -simcache directory; empty disables; "+
+			"repeatable with -explain, where each value may be a file or a directory of *.jsonl)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("sweep", cli.Version())
+		return nil
 	}
 
 	// "auto" ties the ledger's lifetime to the simcache it explains: the
 	// file lands beside the cache directory, so the pair travels together.
-	ledgerPath := *ledgerF
+	ledgerPath := "auto"
+	if len(ledgers) > 0 {
+		ledgerPath = ledgers[0]
+	}
 	if ledgerPath == "auto" {
 		ledgerPath = ""
 		if *simc != "" {
@@ -136,21 +162,50 @@ func run(ctx context.Context) error {
 		}
 	}
 
-	// -explain is a reader mode: summarize the ledger a previous sweep
-	// appended and exit without simulating anything.
+	// -explain is a reader mode: summarize the ledger(s) a previous sweep
+	// — local or distributed — appended, and exit without simulating.
+	// Several paths (or a directory of per-worker files) merge into one
+	// view: records sharing a fingerprint collapse onto the worker that
+	// actually executed the run.
 	if *explain {
-		if ledgerPath == "" {
-			return cli.Usagef("-explain needs a -ledger file (or -simcache for the auto default)")
+		paths := []string(ledgers)
+		if len(paths) == 0 || (len(paths) == 1 && paths[0] == "auto") {
+			if ledgerPath == "" {
+				return cli.Usagef("-explain needs a -ledger file (or -simcache for the auto default)")
+			}
+			paths = []string{ledgerPath}
 		}
-		recs, skipped, err := obs.ReadLedger(ledgerPath)
+		merged := len(paths) > 1
+		if fi, err := os.Stat(paths[0]); err == nil && fi.IsDir() {
+			merged = true
+		}
+		recs, skipped, err := obs.ReadLedgers(paths...)
 		if err != nil {
 			return err
 		}
+		dups := 0
+		if merged {
+			recs, dups = obs.DedupByFingerprint(recs)
+		}
 		sum := obs.SummarizeLedger(recs, 10)
 		sum.Skipped = skipped
-		fmt.Printf("provenance ledger %s\n", ledgerPath)
+		sum.Dups = dups
+		fmt.Printf("provenance ledger %s\n", strings.Join(paths, ", "))
 		sum.WriteText(os.Stdout)
 		return nil
+	}
+
+	// -worker is a service mode: the rest of the flags describing what
+	// to sweep are the coordinator's business; this process just
+	// executes whatever cells it is leased, through the same
+	// cache/checkpoint stack a local sweep uses.
+	if *workerURL != "" {
+		return runWorker(ctx, workerConfig{
+			url: *workerURL, id: *workerID,
+			simc: *simc, ledgerPath: ledgerPath,
+			ckptOn: *ckptOn, ckptDir: *ckptDir, ckptMax: *ckptMax,
+			parallel: *parallel,
+		})
 	}
 
 	out := io.Writer(os.Stdout)
@@ -544,10 +599,10 @@ func run(ctx context.Context) error {
 		return err
 	}
 
-	// -schemes: online comparison points next to the grid searches, run at
-	// the same per-combination length through the same cache and pool.
-	// Whitespace separates schemes because commas belong to the scheme
-	// grammar itself.
+	// -schemes: online comparison points next to the grid searches, run
+	// at the same per-combination length through the same cache and
+	// pool. Whitespace separates schemes because commas belong to the
+	// scheme grammar itself.
 	for _, ss := range strings.Fields(*schemes) {
 		sch, err := spec.ParseScheme(ss)
 		if err != nil {
@@ -622,4 +677,83 @@ func run(ctx context.Context) error {
 			sch.String(), final, metrics.WS(sd), metrics.FI(sd), metrics.HS(sd))
 	}
 	return nil
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+type workerConfig struct {
+	url, id          string
+	simc, ledgerPath string
+	ckptOn           bool
+	ckptDir          string
+	ckptMax          int64
+	parallel         int
+}
+
+// runWorker is `sweep -worker`: register with the coordinator, lease
+// cells, execute them through the shared cache/checkpoint stack, and
+// report each under its fencing token. SIGTERM/SIGINT cancels ctx,
+// which drains gracefully — the in-flight cell finishes, unstarted
+// leases are released, the worker deregisters — and exits 130 through
+// the usual cli contract (a second signal kills immediately).
+func runWorker(ctx context.Context, c workerConfig) error {
+	id := c.id
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	var rcache *simcache.Cache
+	if c.simc != "" {
+		var err error
+		rcache, err = simcache.Open(c.simc)
+		if err != nil {
+			return err
+		}
+		rcache.SetResilience(resilience.DefaultPolicy(), nil)
+	}
+	// The worker's ledger is its slice of the sweep's provenance: every
+	// record is stamped with the worker id, so `sweep -explain` over the
+	// collected per-worker files attributes each run to who satisfied it.
+	if c.ledgerPath != "" && rcache != nil {
+		ledger, err := obs.OpenLedger(c.ledgerPath)
+		if err != nil {
+			return err
+		}
+		ledger.SetWorker(id)
+		rcache.SetLedger(ledger)
+		defer ledger.Close()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "sweep: worker %s: %d provenance records appended to %s\n",
+				id, ledger.Appends(), c.ledgerPath)
+		}()
+	}
+	var store *ckpt.Store
+	if c.ckptOn {
+		var err error
+		store, err = ckpt.Open(c.ckptDir)
+		if err != nil {
+			return err
+		}
+		store.SetMaxBytes(c.ckptMax)
+	}
+	pool := runner.New(c.parallel)
+	defer pool.Close()
+
+	w := dsweep.NewWorker(dsweep.WorkerOptions{
+		ID: id, URL: c.url,
+		Cache: rcache, Ckpt: store, Runner: pool,
+		Version: cli.Version(),
+	})
+	fmt.Fprintf(os.Stderr, "sweep: worker %s pulling cells from %s\n", id, c.url)
+	err := w.Run(ctx)
+	fmt.Fprintf(os.Stderr, "sweep: worker %s: %d completions accepted, %d fenced off\n",
+		id, w.Completed(), w.Fenced())
+	return err
 }

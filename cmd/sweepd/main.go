@@ -1,0 +1,202 @@
+// Command sweepd is the distributed-sweep coordinator: it shards a
+// workload's TLP-combination grid into cells and serves them to
+// `sweep -worker` processes over HTTP/JSON, under monotonically-fenced
+// leases with heartbeat-driven expiry (DESIGN.md §15).
+//
+// Usage:
+//
+//	sweepd -workload BLK_TRD -listen :9900
+//	sweep  -worker http://localhost:9900        # on each worker machine
+//
+// The coordinator is the sweep's durable brain, not its muscle: it
+// never simulates. Cells already present in -simcache complete up
+// front; everything else is leased out, and accepted completions are
+// persisted back into the cache (idempotent fingerprint-keyed puts) and
+// into the assignment-state checkpoint (-state, atomic temp+rename), so
+// killing and restarting sweepd resumes the sweep without re-running
+// finished cells — and without ever reissuing a fencing token a zombie
+// worker still holds, because fencing tokens are reserved in persisted
+// blocks and the successor resumes above the reservation.
+//
+// Workers that miss heartbeats or stop making progress have their
+// leases expired by a per-worker resilience watchdog (-lease-ttl) and
+// their cells reassigned; stale completions are rejected by the fencing
+// check. Every state transition is journaled to stderr and mirrored
+// into /metrics counters (ebm_dsweep_leases_granted/expired/
+// reassigned_total, ebm_dsweep_fenced_rejects_total), and accepted
+// completions append worker-attributed provenance records to -ledger
+// for `sweep -explain`.
+//
+// SIGINT/SIGTERM stops serving and exits 130; the state checkpoint and
+// the cache keep everything completed so far, and rerunning the same
+// command resumes. A second signal kills the process immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ebm/internal/cli"
+	"ebm/internal/config"
+	"ebm/internal/dsweep"
+	"ebm/internal/kernel"
+	"ebm/internal/obs"
+	"ebm/internal/resilience"
+	"ebm/internal/simcache"
+	"ebm/internal/workload"
+)
+
+func main() { cli.Main("sweepd", run) }
+
+func run(ctx context.Context) error {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	var (
+		wlName  = fs.String("workload", "BLK_TRD", "two-application workload to sweep, e.g. BLK_TRD")
+		levelsF = fs.String("levels", "", "comma-separated TLP levels per axis (default: the full ladder)")
+		cycles  = fs.Uint64("cycles", 120_000, "cycles per combination")
+		warmup  = fs.Uint64("warmup", 20_000, "warmup cycles")
+		listen  = fs.String("listen", ":9900", "address the coordinator serves the wire protocol (and /metrics) on")
+		simc    = fs.String("simcache", "simcache", "shared simulation-result cache directory (empty disables prewarm/persist)")
+		stateF  = fs.String("state", "auto",
+			"assignment-state checkpoint `file` rewritten atomically on every transition "+
+				"(auto = dsweep-state.json beside the -simcache directory; empty disables restart resume)")
+		leaseTTL = fs.Duration("lease-ttl", dsweep.DefaultLeaseTTL,
+			"no-progress deadline per worker: a lease whose holder stops heartbeating or advancing expires and its cell is reassigned")
+		ledgerF = fs.String("ledger", "auto",
+			"provenance ledger appended one worker-attributed record per accepted completion "+
+				"(auto = ledger.jsonl beside the -simcache directory; empty disables)")
+		version = fs.Bool("version", false, "print the build version and exit")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Println("sweepd", cli.Version())
+		return nil
+	}
+
+	cfg := config.Default()
+	wl, ok := workload.ByName(*wlName)
+	if !ok || len(wl.Apps) != 2 {
+		return cli.Usagef("need a two-application workload; apps: %v", kernel.Names())
+	}
+	var levels []int
+	if *levelsF != "" {
+		for _, s := range strings.Split(*levelsF, ",") {
+			l, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return cli.Usagef("bad -levels %q: %v", *levelsF, err)
+			}
+			levels = append(levels, l)
+		}
+	}
+	cells := dsweep.GridCells(wl.Apps, dsweep.GridOptions{
+		Config: cfg, Levels: levels, TotalCycles: *cycles, WarmupCycles: *warmup,
+	})
+
+	var rcache *simcache.Cache
+	if *simc != "" {
+		var err error
+		rcache, err = simcache.Open(*simc)
+		if err != nil {
+			return err
+		}
+	}
+	statePath := *stateF
+	if statePath == "auto" {
+		statePath = ""
+		if *simc != "" {
+			statePath = filepath.Join(filepath.Dir(*simc), "dsweep-state.json")
+		}
+	}
+	ledgerPath := *ledgerF
+	if ledgerPath == "auto" {
+		ledgerPath = ""
+		if *simc != "" {
+			ledgerPath = filepath.Join(filepath.Dir(*simc), "ledger.jsonl")
+		}
+	}
+	var ledger *obs.Ledger
+	if ledgerPath != "" {
+		l, err := obs.OpenLedger(ledgerPath)
+		if err != nil {
+			return err
+		}
+		ledger = l
+		defer ledger.Close()
+	}
+
+	// Every coordinator state transition lands in the journal; the
+	// stderr subscriber narrates it live, and the registry mirrors the
+	// lease lifecycle into /metrics.
+	journal := obs.NewJournal()
+	journal.Subscribe(func(e obs.Event) {
+		if e.Kind == obs.EvDsweep || e.Kind == obs.EvResilience {
+			fmt.Fprintf(os.Stderr, "sweepd: %s\n", e.Label)
+		}
+	})
+	reg := obs.NewRegistry()
+	mon := resilience.NewMonitor(reg, journal)
+
+	coord, err := dsweep.New(dsweep.Options{
+		Cells:     cells,
+		Cache:     rcache,
+		StatePath: statePath,
+		LeaseTTL:  *leaseTTL,
+		Version:   cli.Version(),
+		Journal:   journal,
+		Ledger:    ledger,
+		Registry:  reg,
+		Mon:       mon,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", coord.Handler())
+	mux.Handle(dsweep.PathMetrics, obs.Handler(reg))
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	st := coord.Status()
+	fmt.Fprintf(os.Stderr, "sweepd: %s grid: %d cells (%d already done), serving on http://%s\n",
+		*wlName, st.Total, st.Done, ln.Addr())
+	hint := *listen
+	if strings.HasPrefix(hint, ":") {
+		hint = "<this-host>" + hint
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: point workers at it: sweep -worker http://%s\n", hint)
+
+	start := time.Now()
+	if err := coord.Wait(ctx); err != nil {
+		st := coord.Status()
+		fmt.Fprintf(os.Stderr,
+			"sweepd: interrupted with %d/%d cells done; state and cache are persisted — rerun the same command to resume\n",
+			st.Done, st.Total)
+		return err
+	}
+	st = coord.Status()
+	n := st.Counts
+	fmt.Fprintf(os.Stderr, "sweepd: sweep complete: %d cells in %v (%d prewarmed, %d resumed, %d completed by workers)\n",
+		st.Total, time.Since(start).Round(time.Millisecond), n.Prewarmed, n.Resumed, n.Completed)
+	fmt.Fprintf(os.Stderr, "sweepd: leases: %d granted, %d expired, %d reassigned, %d released, %d fenced rejects\n",
+		n.Granted, n.Expired, n.Reassigned, n.Released, n.FencedRejects)
+	fmt.Fprintf(os.Stderr, "sweepd: results persisted to %s — a local `sweep -workload %s` now replays from cache\n",
+		*simc, *wlName)
+	return nil
+}

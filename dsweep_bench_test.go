@@ -1,0 +1,90 @@
+package ebm_test
+
+// Distributed-sweep overhead benchmarks (DESIGN.md §15): the same
+// 9-cell grid swept locally and through the full coordinator/worker
+// wire protocol with a single worker. Both execute the cells strictly
+// sequentially into a fresh result cache each iteration, so the pair
+// isolates exactly the coordination tax — registration, leases,
+// heartbeats, JSON results over HTTP, state checkpointing. The
+// Makefile's dsweep-bench target asserts the distributed run stays
+// within 1.10x of the local one (BENCH_10.json).
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"ebm/internal/config"
+	"ebm/internal/dsweep"
+	"ebm/internal/runner"
+	"ebm/internal/search"
+	"ebm/internal/simcache"
+	"ebm/internal/workload"
+)
+
+func benchDistSetup() (config.GPU, workload.Workload, []int, uint64, uint64) {
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	return cfg, workload.MustMake("BLK", "TRD"), []int{1, 8, 24}, 20_000, 2_000
+}
+
+func benchOpenCache(b *testing.B, dir string) *simcache.Cache {
+	b.Helper()
+	c, err := simcache.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkDistSweepLocal(b *testing.B) {
+	cfg, wl, levels, total, warmup := benchDistSetup()
+	pool := runner.New(2)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.BuildGrid(context.Background(), wl.Apps, search.GridOptions{
+			Config: cfg, Levels: levels, TotalCycles: total, WarmupCycles: warmup,
+			Parallelism: 1, Runner: pool, Cache: benchOpenCache(b, b.TempDir()),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistSweepOneWorker(b *testing.B) {
+	cfg, wl, levels, total, warmup := benchDistSetup()
+	cells := dsweep.GridCells(wl.Apps, dsweep.GridOptions{
+		Config: cfg, Levels: levels, TotalCycles: total, WarmupCycles: warmup,
+	})
+	pool := runner.New(2)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		coord, err := dsweep.New(dsweep.Options{
+			Cells: cells,
+			Cache: benchOpenCache(b, dir),
+			// The state checkpoint is part of the tax being measured.
+			StatePath: filepath.Join(dir, "state.json"),
+			Version:   "devel",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(coord.Handler())
+		w := dsweep.NewWorker(dsweep.WorkerOptions{
+			ID: "bench", URL: srv.URL, Cache: benchOpenCache(b, dir), Runner: pool,
+		})
+		if err := w.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if st := coord.Status(); st.Done != st.Total {
+			b.Fatalf("sweep incomplete: %+v", st)
+		}
+		srv.Close()
+		coord.Close()
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 )
 
@@ -57,6 +58,42 @@ func ExitCode(err error) int {
 	default:
 		return ExitError
 	}
+}
+
+// Version renders the build identity every binary reports under -version
+// and workers exchange in the registration handshake: the module version
+// when stamped, the VCS revision (short, with a +dirty marker) when the
+// build carried one, and always the Go toolchain. Without build info
+// (rare outside tests) it degrades to "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		v += " (" + rev + ")"
+	}
+	return v + " " + bi.GoVersion
 }
 
 // Run executes fn under a signal-cancelled context and returns the exit

@@ -1,0 +1,54 @@
+package dsweep
+
+import (
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/simcache"
+	"ebm/internal/spec"
+)
+
+// GridOptions selects the grid a distributed sweep covers — the same
+// knobs search.GridOptions exposes for a local build, minus the
+// execution wiring (which lives on the workers).
+type GridOptions struct {
+	Config       config.GPU
+	Levels       []int // TLP levels per axis; default config.TLPLevels
+	TotalCycles  uint64
+	WarmupCycles uint64
+}
+
+// GridCells enumerates the exhaustive TLP-combination grid as wire
+// cells, in the exact flat-index order and RunSpec shape
+// search.BuildGrid submits — so every cell's fingerprint matches the
+// key a single-process `sweep` of the same grid would use, and the
+// two modes warm each other's cache. This correspondence is what the
+// bit-identity chaos test pins.
+func GridCells(apps []kernel.Params, opts GridOptions) []Cell {
+	levels := opts.Levels
+	if levels == nil {
+		levels = append([]int(nil), config.TLPLevels...)
+	}
+	n := len(apps)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= len(levels)
+	}
+	cells := make([]Cell, 0, total)
+	for idx := 0; idx < total; idx++ {
+		combo := make([]int, n)
+		rem := idx
+		for i := 0; i < n; i++ {
+			combo[i] = levels[rem%len(levels)]
+			rem /= len(levels)
+		}
+		rs := spec.RunSpec{
+			Config:       opts.Config,
+			Apps:         apps,
+			Scheme:       spec.Static(combo, nil),
+			TotalCycles:  opts.TotalCycles,
+			WarmupCycles: opts.WarmupCycles,
+		}
+		cells = append(cells, Cell{Key: simcache.Key(rs), Spec: rs})
+	}
+	return cells
+}

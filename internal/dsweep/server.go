@@ -1,0 +1,107 @@
+package dsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler exposes the coordinator's methods as the HTTP/JSON wire
+// protocol. Registration failures answer 400 with the HelloReply
+// explaining the mismatch; an unknown worker answers 410 Gone, the
+// signal to re-register (its lease expired, or the coordinator
+// restarted and forgot the roster — deliberately: leases are not
+// checkpointed, only fences and results are).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathRegister, func(w http.ResponseWriter, r *http.Request) {
+		var h Hello
+		if !decode(w, r, &h) {
+			return
+		}
+		reply := c.Register(h)
+		code := http.StatusOK
+		if !reply.OK {
+			code = http.StatusBadRequest
+		}
+		encode(w, code, reply)
+	})
+	mux.HandleFunc("POST "+PathLease, func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		reply, known := c.Lease(req)
+		if !known {
+			w.WriteHeader(http.StatusGone)
+			return
+		}
+		encode(w, http.StatusOK, reply)
+	})
+	mux.HandleFunc("POST "+PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if !c.Heartbeat(req) {
+			w.WriteHeader(http.StatusGone)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST "+PathComplete, func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		// No 410 here: a zombie's completion must reach the fencing
+		// check (and its counter), not bounce off the roster.
+		encode(w, http.StatusOK, c.Complete(req))
+	})
+	mux.HandleFunc("POST "+PathRelease, func(w http.ResponseWriter, r *http.Request) {
+		var req ReleaseRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		encode(w, http.StatusOK, c.Release(req))
+	})
+	mux.HandleFunc("POST "+PathDeregister, func(w http.ResponseWriter, r *http.Request) {
+		var req DeregisterRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		c.Deregister(req)
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET "+PathStatus, func(w http.ResponseWriter, r *http.Request) {
+		encode(w, http.StatusOK, c.Status())
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("dsweep: bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func encode(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Serve starts the coordinator's HTTP server on addr. The returned
+// server is already serving; Close it to stop.
+func Serve(addr string, c *Coordinator) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dsweep: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

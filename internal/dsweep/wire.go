@@ -1,0 +1,179 @@
+// Package dsweep is the crash-tolerant distributed sweep service:
+// a coordinator that shards grid cells across worker processes over
+// HTTP/JSON, under leases designed for the ways workers actually fail.
+//
+// The unit of work is a Cell — a canonical spec.RunSpec plus its
+// simcache fingerprint. The fingerprint is the cell's identity
+// everywhere: the coordinator dedups and checkpoints by it, workers
+// persist results under it, and a completed cell is bit-identical to
+// the same cell run by a single-process sweep because both sides
+// execute the same deterministic engine and the result cache already
+// proves JSON round-trips are exact.
+//
+// The failure model (DESIGN.md §15) is the point of the package:
+//
+//   - Workers register (a handshake that rejects mismatched schema or
+//     build versions) and heartbeat; each worker is guarded by a
+//     resilience.Watchdog whose deadline is the lease TTL.
+//   - Cells are handed out under monotonically-fenced leases. Fencing
+//     tokens are reserved in blocks: the state checkpoint always holds
+//     a high-water mark no granted token exceeds, so the counter never
+//     regresses — not even across a coordinator restart — while the
+//     grant fast path only touches disk once per block.
+//   - Missed heartbeats or stalled progress (heartbeats that arrive
+//     but report no new simulation windows) trip the watchdog, expire
+//     the worker's leases, and put its cells back in the queue; the
+//     next grant of such a cell counts as a reassignment.
+//   - A zombie — a worker whose lease expired but which finishes
+//     anyway — has its completion rejected by the fencing-token check.
+//     The rejection is bookkeeping, not correctness: results are
+//     idempotent simcache puts keyed by fingerprint, so a duplicate
+//     write is harmless by construction.
+//   - The coordinator checkpoints its fence and completed results
+//     atomically (temp+rename, like every store in this repo), so a
+//     restarted coordinator resumes the sweep without re-running
+//     finished cells, and journals every state transition so
+//     `sweep -explain` can reconstruct who ran what.
+package dsweep
+
+import (
+	"ebm/internal/obs"
+	"ebm/internal/sim"
+	"ebm/internal/spec"
+)
+
+// WireVersion gates the HTTP/JSON protocol itself; a worker speaking a
+// different wire version is rejected at registration.
+const WireVersion = 1
+
+// Endpoint paths served by the coordinator.
+const (
+	PathRegister   = "/register"
+	PathLease      = "/lease"
+	PathHeartbeat  = "/heartbeat"
+	PathComplete   = "/complete"
+	PathRelease    = "/release"
+	PathDeregister = "/deregister"
+	PathStatus     = "/status"
+	PathMetrics    = "/metrics"
+)
+
+// Cell is one unit of distributable work: the canonical run
+// description and its simcache fingerprint. Key is the cell's identity
+// on the wire, in the coordinator's checkpoint, and in the shared
+// result cache — stable across restarts because it is derived from the
+// spec, not from any session state.
+type Cell struct {
+	Key  string       `json:"key"`
+	Spec spec.RunSpec `json:"spec"`
+}
+
+// Hello is the registration handshake. The coordinator rejects a
+// worker whose wire version, cache/checkpoint schema, or build version
+// differs from its own: schema skew would silently key results
+// differently, and binary skew would break the bit-identity guarantee
+// the shared cache depends on.
+type Hello struct {
+	Worker      string `json:"worker"`
+	Version     string `json:"version"` // build identity (cli.Version form)
+	Wire        int    `json:"wire"`
+	CacheSchema int    `json:"cache_schema"`
+	CkptSchema  int    `json:"ckpt_schema"`
+}
+
+// HelloReply answers a registration. On success it carries the
+// control-plane cadence the worker must follow; on rejection Error
+// says exactly which component mismatched.
+type HelloReply struct {
+	OK               bool   `json:"ok"`
+	Error            string `json:"error,omitempty"`
+	HeartbeatEveryNs int64  `json:"heartbeat_every_ns,omitempty"`
+	LeaseTTLNs       int64  `json:"lease_ttl_ns,omitempty"`
+}
+
+// LeaseRequest asks for the next cell.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseReply hands out a cell under a fencing token, or reports the
+// queue state: Wait means every remaining cell is leased elsewhere
+// (poll again), Done means the sweep is complete (drain and exit).
+type LeaseReply struct {
+	Cell  *Cell  `json:"cell,omitempty"`
+	Fence uint64 `json:"fence,omitempty"`
+	Wait  bool   `json:"wait,omitempty"`
+	Done  bool   `json:"done,omitempty"`
+}
+
+// HeartbeatRequest is the worker's liveness-and-progress beacon.
+// Progress is a monotone counter of simulation windows completed; the
+// coordinator feeds the worker's watchdog only when it advances (or
+// the worker holds no lease), so a wedged engine expires its lease
+// even while heartbeats keep arriving.
+type HeartbeatRequest struct {
+	Worker   string `json:"worker"`
+	Progress uint64 `json:"progress"`
+}
+
+// CompleteRequest reports a finished cell under the lease's fencing
+// token. Record, when present, is the worker's provenance record for
+// the run (how it was satisfied, retries, faults, cost) which the
+// coordinator appends to its own ledger for `sweep -explain`.
+type CompleteRequest struct {
+	Worker string         `json:"worker"`
+	Key    string         `json:"key"`
+	Fence  uint64         `json:"fence"`
+	Result sim.Result     `json:"result"`
+	Record *obs.RunRecord `json:"record,omitempty"`
+}
+
+// CompleteReply says whether the completion was accepted. A rejection
+// (stale fence, unknown cell, already-done cell) is normal operation
+// for a zombie worker — its work already landed in the cache, only the
+// attribution is refused. Done rides along when this completion was
+// the sweep's last: the worker exits off this reply instead of racing
+// a final /lease against the coordinator's own shutdown.
+type CompleteReply struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+	Done     bool   `json:"done,omitempty"`
+}
+
+// ReleaseRequest returns an unstarted lease to the queue — the
+// graceful-drain path: a worker that is shutting down hands back cells
+// it never began so another worker picks them up immediately instead
+// of after a lease expiry.
+type ReleaseRequest struct {
+	Worker string `json:"worker"`
+	Key    string `json:"key"`
+	Fence  uint64 `json:"fence"`
+}
+
+// DeregisterRequest removes a worker from the coordinator's roster.
+type DeregisterRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Status is the coordinator's observable state (GET /status).
+type Status struct {
+	Total   int    `json:"total"`
+	Done    int    `json:"done"`
+	Leased  int    `json:"leased"`
+	Pending int    `json:"pending"`
+	Workers int    `json:"workers"`
+	Counts  Counts `json:"counts"`
+}
+
+// Counts tallies the coordinator's lease lifecycle — the numbers the
+// chaos test asserts on and the obs counters mirror.
+type Counts struct {
+	Granted       uint64 `json:"granted"`
+	Expired       uint64 `json:"expired"`
+	Reassigned    uint64 `json:"reassigned"`
+	FencedRejects uint64 `json:"fenced_rejects"`
+	Completed     uint64 `json:"completed"`
+	Released      uint64 `json:"released"`
+	Prewarmed     uint64 `json:"prewarmed"` // cells satisfied from the cache at startup
+	Resumed       uint64 `json:"resumed"`   // cells restored done from the state checkpoint
+}

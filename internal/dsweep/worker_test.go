@@ -1,0 +1,217 @@
+package dsweep
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ebm/internal/cli"
+	"ebm/internal/config"
+	"ebm/internal/kernel"
+	"ebm/internal/runner"
+	"ebm/internal/search"
+	"ebm/internal/simcache"
+)
+
+func workerTestApps(t testing.TB) []kernel.Params {
+	t.Helper()
+	a, ok := kernel.ByName("BLK")
+	if !ok {
+		t.Fatal("no BLK")
+	}
+	b, ok := kernel.ByName("BFS")
+	if !ok {
+		t.Fatal("no BFS")
+	}
+	return []kernel.Params{a, b}
+}
+
+func workerTestGrid(levels []int) GridOptions {
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.NumMemPartitions = 4
+	return GridOptions{Config: cfg, Levels: levels, TotalCycles: 6_000, WarmupCycles: 2_000}
+}
+
+func openCache(t testing.TB, dir string) *simcache.Cache {
+	t.Helper()
+	c, err := simcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestWorkerSweepsBitIdenticalToLocalBuild drives one worker through a
+// real (small) grid over the real HTTP protocol and pins the package's
+// core promise: the distributed sweep's per-cell results are exactly
+// the ones a single-process search.BuildGrid produces, cell for cell in
+// the shared flat-index order.
+func TestWorkerSweepsBitIdenticalToLocalBuild(t *testing.T) {
+	apps := workerTestApps(t)
+	gopts := workerTestGrid([]int{1, 24})
+	cells := GridCells(apps, gopts)
+
+	refPool := runner.New(4)
+	defer refPool.Close()
+	ref, err := search.BuildGrid(context.Background(), apps, search.GridOptions{
+		Config: gopts.Config, Levels: gopts.Levels,
+		TotalCycles: gopts.TotalCycles, WarmupCycles: gopts.WarmupCycles,
+		Parallelism: 2, Runner: refPool, Cache: openCache(t, t.TempDir()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Results) != len(cells) {
+		t.Fatalf("%d reference results for %d cells: GridCells diverged from search.BuildGrid", len(ref.Results), len(cells))
+	}
+
+	dir := t.TempDir()
+	coord := newTestCoord(t, Options{Cells: cells, Cache: openCache(t, dir)})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	pool := runner.New(4)
+	defer pool.Close()
+	w := NewWorker(WorkerOptions{ID: "solo", URL: srv.URL, Cache: openCache(t, dir), Runner: pool})
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("worker run: %v", err)
+	}
+	if got := w.Completed(); got != uint64(len(cells)) {
+		t.Fatalf("worker completed %d cells, want %d", got, len(cells))
+	}
+	if st := coord.Status(); st.Done != st.Total || st.Workers != 0 {
+		t.Fatalf("status = %+v, want every cell done and the worker drained off the roster", st)
+	}
+	results := coord.Results()
+	for i, cell := range cells {
+		if !reflect.DeepEqual(results[cell.Key], ref.Results[i]) {
+			t.Fatalf("cell %d (%s) differs from the local build", i, cell.Key)
+		}
+	}
+}
+
+// TestWorkerReRegistersAfterCoordinatorRestart swaps a fresh
+// coordinator (restored from the state checkpoint) in under a running
+// worker mid-sweep. The worker's next contact gets 410 Gone,
+// re-registers, and finishes the sweep; nothing completed before the
+// restart is re-run.
+func TestWorkerReRegistersAfterCoordinatorRestart(t *testing.T) {
+	apps := workerTestApps(t)
+	cells := GridCells(apps, workerTestGrid([]int{1, 24}))
+	dir := t.TempDir()
+	state := dir + "/state.json"
+
+	c1 := newTestCoord(t, Options{Cells: cells, Cache: openCache(t, dir), StatePath: state})
+	var mu sync.Mutex
+	cur := c1
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		c := cur
+		mu.Unlock()
+		c.Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	pool := runner.New(4)
+	defer pool.Close()
+	w := NewWorker(WorkerOptions{ID: "survivor", URL: srv.URL, Cache: openCache(t, dir), Runner: pool})
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Run(context.Background()) }()
+
+	waitFor(t, "a completion before the restart", 60*time.Second, func() bool {
+		return c1.Counts().Completed >= 1
+	})
+	c2 := newTestCoord(t, Options{Cells: cells, Cache: openCache(t, dir), StatePath: state})
+	if c2.Counts().Resumed+c2.Counts().Prewarmed < 1 {
+		t.Fatalf("successor counts = %+v, want pre-restart completions restored", c2.Counts())
+	}
+	mu.Lock()
+	cur = c2
+	mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := c2.Wait(ctx); err != nil {
+		t.Fatalf("sweep did not finish after the restart: %v (status %+v)", err, c2.Status())
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("worker run: %v", err)
+	}
+	if st := c2.Status(); st.Done != st.Total {
+		t.Fatalf("status = %+v after restart, want the full grid done", st)
+	}
+}
+
+// TestWorkerDrainsGracefullyOnSIGTERM delivers a real SIGTERM through
+// internal/cli's notify context — the exact path `sweep -worker` runs
+// under — and checks the drain contract: exit code 130, the in-flight
+// cell finished or the unstarted lease handed back, the roster empty,
+// and nothing left for lease expiry to clean up.
+func TestWorkerDrainsGracefullyOnSIGTERM(t *testing.T) {
+	apps := workerTestApps(t)
+	cells := GridCells(apps, workerTestGrid([]int{1, 8, 24})) // 9 cells: the sweep outlives the signal
+	dir := t.TempDir()
+	coord := newTestCoord(t, Options{Cells: cells, Cache: openCache(t, dir)})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	pool := runner.New(4)
+	defer pool.Close()
+	w := NewWorker(WorkerOptions{ID: "draining", URL: srv.URL, Cache: openCache(t, dir), Runner: pool})
+
+	var buf strings.Builder
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- cli.Run("sweep", &buf, func(ctx context.Context) error {
+			return w.Run(ctx)
+		})
+	}()
+	waitFor(t, "the worker to take a lease", 60*time.Second, func() bool {
+		return coord.Counts().Granted >= 1
+	})
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	select {
+	case code = <-codeCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("worker did not drain after SIGTERM")
+	}
+	if code != cli.ExitInterrupted {
+		t.Fatalf("exit code = %d (stderr %q), want %d", code, buf.String(), cli.ExitInterrupted)
+	}
+	st := coord.Status()
+	if st.Workers != 0 || st.Leased != 0 {
+		t.Fatalf("status = %+v after drain, want an empty roster and no dangling leases", st)
+	}
+	n := coord.Counts()
+	if n.Completed == 0 && n.Released == 0 {
+		t.Fatalf("counts = %+v: the granted lease was neither finished nor handed back", n)
+	}
+	if n.Expired != 0 {
+		t.Fatalf("counts = %+v: a graceful drain left work for lease expiry", n)
+	}
+}
+
+func TestWorkerRejectedByVersionHandshake(t *testing.T) {
+	coord := newTestCoord(t, Options{Cells: testCells("a"), Version: "release-9"})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	w := NewWorker(WorkerOptions{ID: "old", URL: srv.URL}) // Version defaults to "devel"
+	err := w.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("mismatched worker ran: err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "build version") {
+		t.Fatalf("rejection %v does not name the version mismatch", err)
+	}
+}

@@ -78,16 +78,25 @@ type Config struct {
 	// PolicyStall (0 disables). Exercises the sandbox's decision budget.
 	PolicyStallEveryDecisions uint64
 	PolicyStall               time.Duration
+
+	// HeartbeatDropProb is the per-call probability that a distributed-
+	// sweep worker's heartbeat is dropped before it reaches the
+	// coordinator; HeartbeatDelay delays every heartbeat send first
+	// (a congested control plane). Exercises lease expiry and straggler
+	// reassignment in internal/dsweep.
+	HeartbeatDropProb float64
+	HeartbeatDelay    time.Duration
 }
 
 // Counts reports how many faults an Injector has produced.
 type Counts struct {
-	ReadErrs     uint64
-	WriteErrs    uint64
-	Panics       uint64
-	Stalls       uint64
-	PolicyPanics uint64
-	PolicyStalls uint64
+	ReadErrs       uint64
+	WriteErrs      uint64
+	Panics         uint64
+	Stalls         uint64
+	PolicyPanics   uint64
+	PolicyStalls   uint64
+	HeartbeatDrops uint64
 }
 
 // Injector implements Hooks with seeded, counted fault decisions.
@@ -208,6 +217,32 @@ func (in *Injector) PolicyDecision(window uint64) {
 	if hit {
 		panic(fmt.Sprintf("faultinject: policy decision at window %d: injected panic", window))
 	}
+}
+
+// Heartbeat draws one control-plane fault for a distributed-sweep
+// worker's heartbeat: every call sleeps HeartbeatDelay, and with
+// probability HeartbeatDropProb the send is dropped (the worker skips
+// it, exactly as if the datagram were lost). Not part of the Hooks seam;
+// internal/dsweep type-asserts for it.
+func (in *Injector) Heartbeat(worker string) error {
+	if in == nil {
+		return nil
+	}
+
+	in.mu.Lock()
+	hit := in.cfg.HeartbeatDropProb > 0 && in.rng.Float64() < in.cfg.HeartbeatDropProb
+	if hit {
+		in.counts.HeartbeatDrops++
+	}
+	d := in.cfg.HeartbeatDelay
+	in.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if hit {
+		return fmt.Errorf("faultinject: heartbeat from %s: %w", worker, ErrInjected)
+	}
+	return nil
 }
 
 // WindowBoundary sleeps for Stall on every StallEveryWindows-th call.

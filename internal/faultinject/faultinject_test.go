@@ -121,3 +121,31 @@ func TestNilInjectorIsInertHooks(t *testing.T) {
 	h.TaskStart("t")      // must not panic
 	h.WindowBoundary(100) // must not panic
 }
+
+// TestHeartbeatDropsAndDelays covers the control-plane seam the
+// distributed sweep's workers thread their beats through.
+func TestHeartbeatDropsAndDelays(t *testing.T) {
+	in := New(Config{Seed: 3, HeartbeatDropProb: 1})
+	for i := 0; i < 5; i++ {
+		err := in.Heartbeat("w")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("drop probability 1 let a beat through: %v", err)
+		}
+	}
+	if c := in.Counts(); c.HeartbeatDrops != 5 {
+		t.Fatalf("HeartbeatDrops = %d, want 5", c.HeartbeatDrops)
+	}
+
+	in = New(Config{Seed: 3, HeartbeatDelay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := in.Heartbeat("w"); err != nil {
+		t.Fatalf("delay-only config dropped a beat: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("beat returned after %v, want the injected %v delay", d, 10*time.Millisecond)
+	}
+
+	if err := (*Injector)(nil).Heartbeat("w"); err != nil {
+		t.Fatalf("nil injector dropped a beat: %v", err)
+	}
+}

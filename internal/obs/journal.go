@@ -42,6 +42,11 @@ const (
 	// EvPolicySwap records a TLP policy being hot-swapped at a window
 	// boundary; Label names the incoming policy.
 	EvPolicySwap
+	// EvDsweep records a distributed-sweep coordinator state transition —
+	// a worker registering or deregistering, a lease granted, expired,
+	// released, or reassigned, a completion accepted or fenced off; Label
+	// carries the detail (worker, cell fingerprint, fencing token).
+	EvDsweep
 )
 
 // String names the kind for CSV/debug output.
@@ -67,6 +72,8 @@ func (k EventKind) String() string {
 		return "policy-fault"
 	case EvPolicySwap:
 		return "policy-swap"
+	case EvDsweep:
+		return "dsweep"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

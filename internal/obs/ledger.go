@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ type RunRecord struct {
 	Fingerprint  string `json:"fingerprint"`           // simcache key of the run
 	Scheme       string `json:"scheme"`                // canonical scheme flag string
 	Apps         string `json:"apps,omitempty"`        // underscore-joined workload name
+	Worker       string `json:"worker,omitempty"`      // distributed-sweep worker that satisfied the run
 
 	Outcome    string   `json:"outcome"`               // cached | cold | forked | pruned
 	ForkWindow uint64   `json:"fork_window,omitempty"` // restore depth for forked runs
@@ -71,6 +73,7 @@ type Ledger struct {
 	mu      sync.Mutex
 	f       *os.File
 	path    string
+	worker  string
 	appends atomic.Uint64
 }
 
@@ -100,12 +103,30 @@ func (l *Ledger) Appends() uint64 {
 	return l.appends.Load()
 }
 
+// SetWorker stamps every subsequent Append with the given worker
+// identity (unless the record already names one) — how a distributed
+// sweep's per-worker ledgers attribute their runs. Call before
+// submitting work; a nil ledger ignores it.
+func (l *Ledger) SetWorker(id string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.worker = id
+	l.mu.Unlock()
+}
+
 // Append writes one record (stamping LedgerSchema) as a single line.
 func (l *Ledger) Append(r RunRecord) error {
 	if l == nil {
 		return nil
 	}
 	r.LedgerSchema = LedgerSchemaVersion
+	l.mu.Lock()
+	if r.Worker == "" {
+		r.Worker = l.worker
+	}
+	l.mu.Unlock()
 	b, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("obs: ledger marshal: %w", err)
@@ -158,6 +179,91 @@ func ReadLedger(path string) (recs []RunRecord, skipped int, err error) {
 	return recs, skipped, nil
 }
 
+// ReadLedgers reads and concatenates several ledgers — the merged view
+// of a distributed sweep where every worker appended its own file. Each
+// path may be a single ledger file or a directory, which reads every
+// *.jsonl inside (lexical order, so merges are stable). Unreadable lines
+// are skipped and counted as in ReadLedger; a missing path is an error.
+func ReadLedgers(paths ...string) (recs []RunRecord, skipped int, err error) {
+	var files []string
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("obs: ledger %s: %w", p, err)
+		}
+		if !fi.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("obs: ledger dir %s: %w", p, err)
+		}
+		n := 0
+		for _, e := range ents {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".jsonl" {
+				files = append(files, filepath.Join(p, e.Name()))
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, 0, fmt.Errorf("obs: ledger dir %s holds no *.jsonl files", p)
+		}
+	}
+	for _, f := range files {
+		r, s, err := ReadLedger(f)
+		if err != nil {
+			return recs, skipped, err
+		}
+		recs = append(recs, r...)
+		skipped += s
+	}
+	return recs, skipped, nil
+}
+
+// DedupByFingerprint collapses records sharing a fingerprint into one —
+// the merged multi-worker view, where the worker that executed a run and
+// the workers that replayed it from the shared cache all logged the same
+// key. The surviving record is the first that actually simulated (cold
+// or forked — the attribution `sweep -explain` wants), falling back to
+// the first seen; pruned records are kept as-is (each is a distinct
+// decision, and short-horizon keys never collide with full runs). Input
+// order is preserved; dups counts the records dropped.
+func DedupByFingerprint(recs []RunRecord) (out []RunRecord, dups int) {
+	executed := func(r RunRecord) bool {
+		return r.Outcome == OutcomeCold || r.Outcome == OutcomeForked
+	}
+	at := make(map[string]int, len(recs)) // fingerprint -> index in out
+	for _, r := range recs {
+		if r.Outcome == OutcomePruned {
+			out = append(out, r)
+			continue
+		}
+		i, seen := at[r.Fingerprint]
+		if !seen {
+			at[r.Fingerprint] = len(out)
+			out = append(out, r)
+			continue
+		}
+		dups++
+		if executed(r) && !executed(out[i]) {
+			out[i] = r
+		}
+	}
+	return out, dups
+}
+
+// LedgerWorker is one worker's slice of a merged-ledger summary.
+type LedgerWorker struct {
+	Records int
+	Cold    int
+	Forked  int
+	Cached  int
+	Pruned  int
+	Cycles  uint64
+	WallNs  int64
+}
+
 // LedgerSummary is the aggregate view `sweep -explain` prints: outcome
 // counts, retry/fault totals, and the slowest runs.
 type LedgerSummary struct {
@@ -167,6 +273,7 @@ type LedgerSummary struct {
 	Forked  int
 	Pruned  int // adaptive-search candidates dropped mid-horizon
 	Skipped int // unreadable ledger lines
+	Dups    int // merged-ledger records collapsed by fingerprint
 
 	Retries int
 	Faults  int
@@ -174,31 +281,58 @@ type LedgerSummary struct {
 	Cycles  uint64
 	WallNs  int64
 	Slowest []RunRecord // top-k by wall cost, descending
+
+	// Workers attributes outcomes per distributed-sweep worker; records
+	// with no worker stamp aggregate under "local".
+	Workers map[string]*LedgerWorker
 }
 
 // SummarizeLedger aggregates records into the -explain view, keeping the
 // topK slowest runs (<= 0 keeps none).
 func SummarizeLedger(recs []RunRecord, topK int) LedgerSummary {
 	s := LedgerSummary{Records: len(recs)}
+	worker := func(r RunRecord) *LedgerWorker {
+		id := r.Worker
+		if id == "" {
+			id = "local"
+		}
+		if s.Workers == nil {
+			s.Workers = make(map[string]*LedgerWorker)
+		}
+		w := s.Workers[id]
+		if w == nil {
+			w = &LedgerWorker{}
+			s.Workers[id] = w
+		}
+		return w
+	}
 	for _, r := range recs {
+		w := worker(r)
+		w.Records++
 		switch r.Outcome {
 		case OutcomeCached:
 			s.Cached++
+			w.Cached++
 		case OutcomeForked:
 			s.Forked++
+			w.Forked++
 		case OutcomePruned:
 			// A pruning decision, not a run: the partial-horizon
 			// simulation it refers to already logged its own record, so
 			// counting its cycles again would double-book the work.
 			s.Pruned++
+			w.Pruned++
 			continue
 		default:
 			s.Cold++
+			w.Cold++
 		}
 		s.Retries += r.Retries
 		s.Faults += len(r.Faults)
 		s.Cycles += r.Cycles
 		s.WallNs += r.WallNs
+		w.Cycles += r.Cycles
+		w.WallNs += r.WallNs
 	}
 	if topK > 0 {
 		sorted := make([]RunRecord, 0, len(recs))
@@ -225,6 +359,26 @@ func (s LedgerSummary) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "simulated cycles: %d  total wall: %s\n", s.Cycles, time.Duration(s.WallNs))
 	if s.Skipped > 0 {
 		fmt.Fprintf(w, "unreadable ledger lines skipped: %d\n", s.Skipped)
+	}
+	if s.Dups > 0 {
+		fmt.Fprintf(w, "duplicate records collapsed by fingerprint: %d\n", s.Dups)
+	}
+	// Per-worker attribution matters only once a distributed sweep is in
+	// the picture: a purely local ledger summarizes as one "local" row,
+	// which would just repeat the totals.
+	if len(s.Workers) > 1 || (len(s.Workers) == 1 && s.Workers["local"] == nil) {
+		ids := make([]string, 0, len(s.Workers))
+		for id := range s.Workers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(w, "per worker:\n")
+		for _, id := range ids {
+			lw := s.Workers[id]
+			fmt.Fprintf(w, "  %-20s %4d runs (%d cold / %d forked / %d cached / %d pruned)  %d cycles  %s\n",
+				id, lw.Records, lw.Cold, lw.Forked, lw.Cached, lw.Pruned,
+				lw.Cycles, time.Duration(lw.WallNs).Round(time.Microsecond))
+		}
 	}
 	if len(s.Slowest) > 0 {
 		fmt.Fprintf(w, "slowest runs:\n")

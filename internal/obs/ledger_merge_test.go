@@ -1,0 +1,142 @@
+package obs
+
+// Merged-ledger machinery for distributed sweeps: per-worker stamping,
+// multi-file/directory reads, fingerprint dedup, and the per-worker
+// attribution rows `sweep -explain` prints.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeWorkerLedger(t *testing.T, path, worker string, recs ...RunRecord) {
+	t.Helper()
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetWorker(worker)
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetWorkerStampsUnattributedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.jsonl")
+	explicit := testRecord("ffff", OutcomeCached)
+	explicit.Worker = "other"
+	writeWorkerLedger(t, path, "w7", testRecord("eeee", OutcomeCold), explicit)
+	recs, _, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Worker != "w7" {
+		t.Fatalf("unattributed record stamped %q, want the ledger's worker", recs[0].Worker)
+	}
+	if recs[1].Worker != "other" {
+		t.Fatalf("explicit attribution overwritten: %q", recs[1].Worker)
+	}
+}
+
+func TestReadLedgersMergesFilesAndDirectories(t *testing.T) {
+	dir := t.TempDir()
+	// Lexical order inside a directory makes merges stable: b.jsonl
+	// after a.jsonl regardless of mtime.
+	writeWorkerLedger(t, filepath.Join(dir, "b.jsonl"), "w2", testRecord("k2", OutcomeCached))
+	writeWorkerLedger(t, filepath.Join(dir, "a.jsonl"), "w1", testRecord("k1", OutcomeCold))
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not a ledger"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lone := filepath.Join(t.TempDir(), "local.jsonl")
+	writeWorkerLedger(t, lone, "", testRecord("k3", OutcomeForked))
+
+	recs, skipped, err := ReadLedgers(dir, lone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(recs) != 3 {
+		t.Fatalf("recs=%d skipped=%d, want 3 merged records", len(recs), skipped)
+	}
+	for i, want := range []struct{ fp, worker string }{{"k1", "w1"}, {"k2", "w2"}, {"k3", ""}} {
+		if recs[i].Fingerprint != want.fp || recs[i].Worker != want.worker {
+			t.Fatalf("record %d = %s/%q, want %s/%q", i, recs[i].Fingerprint, recs[i].Worker, want.fp, want.worker)
+		}
+	}
+
+	if _, _, err := ReadLedgers(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing ledger path did not error")
+	}
+	empty := t.TempDir()
+	if _, _, err := ReadLedgers(empty); err == nil {
+		t.Fatal("directory without ledgers did not error")
+	}
+}
+
+func TestDedupByFingerprintPrefersTheExecutingWorker(t *testing.T) {
+	replayed := testRecord("k1", OutcomeCached)
+	replayed.Worker = "replayer"
+	executed := testRecord("k1", OutcomeCold)
+	executed.Worker = "executor"
+	executedDup := testRecord("k1", OutcomeCached)
+	executedDup.Worker = "late-replayer"
+	solo := testRecord("k2", OutcomeForked)
+	pruned1 := testRecord("k3", OutcomePruned)
+	pruned2 := testRecord("k3", OutcomePruned)
+
+	out, dups := DedupByFingerprint([]RunRecord{replayed, executed, solo, executedDup, pruned1, pruned2})
+	if dups != 2 {
+		t.Fatalf("dups = %d, want the two k1 replays collapsed", dups)
+	}
+	if len(out) != 4 {
+		t.Fatalf("len(out) = %d, want k1, k2, and both pruned decisions", len(out))
+	}
+	// k1's surviving record is the one that actually simulated, kept in
+	// the first-seen position so merge order stays stable.
+	if out[0].Fingerprint != "k1" || out[0].Worker != "executor" || out[0].Outcome != OutcomeCold {
+		t.Fatalf("k1 survivor = %+v, want the executing worker's cold record", out[0])
+	}
+	// Pruned records are distinct decisions, never collapsed.
+	if out[2].Outcome != OutcomePruned || out[3].Outcome != OutcomePruned {
+		t.Fatalf("pruned records were deduped: %+v", out[2:])
+	}
+}
+
+func TestSummarizeLedgerAttributesPerWorker(t *testing.T) {
+	w1cold := testRecord("k1", OutcomeCold)
+	w1cold.Worker = "w1"
+	w1cold.WallNs = 100
+	w2cached := testRecord("k2", OutcomeCached)
+	w2cached.Worker = "w2"
+	local := testRecord("k3", OutcomeForked)
+
+	sum := SummarizeLedger([]RunRecord{w1cold, w2cached, local}, 2)
+	if len(sum.Workers) != 3 {
+		t.Fatalf("workers = %v, want w1, w2, and local", sum.Workers)
+	}
+	if w := sum.Workers["w1"]; w == nil || w.Records != 1 || w.Cold != 1 || w.WallNs != 100 {
+		t.Fatalf("w1 row = %+v", sum.Workers["w1"])
+	}
+	if w := sum.Workers["w2"]; w == nil || w.Cached != 1 {
+		t.Fatalf("w2 row = %+v", sum.Workers["w2"])
+	}
+	if w := sum.Workers["local"]; w == nil || w.Forked != 1 {
+		t.Fatalf("unstamped record not aggregated under local: %+v", sum.Workers)
+	}
+
+	sum.Dups = 2
+	var buf strings.Builder
+	sum.WriteText(&buf)
+	text := buf.String()
+	for _, want := range []string{"w1", "w2", "local", "duplicate records collapsed by fingerprint: 2"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -226,6 +226,16 @@ func NewWatchdog(o WatchdogOptions) *Watchdog {
 	return w
 }
 
+// Deadline returns the no-progress deadline the watchdog enforces (zero
+// for a nil watchdog). The distributed-sweep coordinator derives its
+// lease deadlines from it, so one knob governs both views of "stuck".
+func (w *Watchdog) Deadline() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.deadline
+}
+
 // Pulse records forward progress. Safe from any goroutine and on a nil
 // watchdog; the engine calls it once per sampling window.
 func (w *Watchdog) Pulse() {

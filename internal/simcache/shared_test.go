@@ -1,0 +1,166 @@
+package simcache
+
+// Multi-process sharing: the cache directory is the distributed sweep's
+// shared result store, so two OS processes writing it concurrently —
+// including racing puts to the SAME keys — must never produce a torn
+// entry, and each process must be able to read what the other wrote.
+// The children are real processes (the test binary re-executed), not
+// goroutines: this exercises rename atomicity across process
+// boundaries, which no in-process test can.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ebm/internal/sim"
+)
+
+const (
+	sharedDirEnv = "EBM_SHARED_CACHE_DIR"
+	sharedIDEnv  = "EBM_SHARED_CACHE_ID"
+	sharedKeys   = 40
+)
+
+func sharedResult(mark, i uint64) sim.Result {
+	return sim.Result{
+		Cycles:  mark*1_000_000 + i,
+		TotalBW: float64(i) * 0.03125,
+		Windows: mark,
+		Apps:    []sim.AppResult{{Name: "proc", Insts: i, IPC: float64(mark) + float64(i)/64}},
+	}
+}
+
+// TestHelperSharedCacheWriter is not a test: it is the body of the
+// child processes spawned by TestSharedCacheSurvivesConcurrentProcesses.
+// Each child floods the shared directory with contended and private
+// keys, then reads its sibling's private keys back — proving
+// cross-process visibility, not just own-write readback.
+func TestHelperSharedCacheWriter(t *testing.T) {
+	dir := os.Getenv(sharedDirEnv)
+	if dir == "" {
+		t.Skip("helper for TestSharedCacheSurvivesConcurrentProcesses")
+	}
+	id := os.Getenv(sharedIDEnv)
+	mark := uint64(1)
+	other := "B"
+	if id == "B" {
+		mark, other = 2, "A"
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < sharedKeys; i++ {
+		// Both processes race on the contended keys with different
+		// payloads; the atomic rename means one whole payload wins.
+		if err := c.Put(fmt.Sprintf("contended-%03d", i), sharedResult(mark, i)); err != nil {
+			t.Fatalf("contended put %d: %v", i, err)
+		}
+		if err := c.Put(fmt.Sprintf("own-%s-%03d", id, i), sharedResult(mark, i)); err != nil {
+			t.Fatalf("own put %d: %v", i, err)
+		}
+	}
+	// Read the sibling's writes. It may still be mid-flood, so poll for
+	// its last key before sweeping them all.
+	lastKey := fmt.Sprintf("own-%s-%03d", other, sharedKeys-1)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ok := c.Get(lastKey); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sibling process %s never finished writing", other)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	otherMark := uint64(3) - mark
+	for i := uint64(0); i < sharedKeys; i++ {
+		res, ok := c.Get(fmt.Sprintf("own-%s-%03d", other, i))
+		if !ok {
+			t.Fatalf("sibling entry own-%s-%03d unreadable", other, i)
+		}
+		if want := sharedResult(otherMark, i); !equalResults(res, want) {
+			t.Fatalf("sibling entry %d round-tripped as %+v", i, res)
+		}
+	}
+}
+
+func equalResults(a, b sim.Result) bool {
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return string(ab) == string(bb)
+}
+
+func TestSharedCacheSurvivesConcurrentProcesses(t *testing.T) {
+	dir := t.TempDir()
+	procs := make([]*exec.Cmd, 0, 2)
+	for _, id := range []string{"A", "B"} {
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperSharedCacheWriter$", "-test.count=1", "-test.v")
+		cmd.Env = append(os.Environ(), sharedDirEnv+"="+dir, sharedIDEnv+"="+id)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+	for i, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("writer process %d failed: %v", i, err)
+		}
+	}
+
+	// Every entry on disk must be whole: correct schema, key matching
+	// the filename, unmarshalable result. Contended keys must carry one
+	// writer's payload in its entirety — never a blend.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		files++
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("unreadable entry %s: %v", e.Name(), err)
+		}
+		var entry struct {
+			Schema int        `json:"schema"`
+			Key    string     `json:"key"`
+			Result sim.Result `json:"result"`
+		}
+		if err := json.Unmarshal(b, &entry); err != nil {
+			t.Fatalf("torn entry %s: %v", e.Name(), err)
+		}
+		if entry.Schema != SchemaVersion {
+			t.Fatalf("entry %s schema %d, want %d", e.Name(), entry.Schema, SchemaVersion)
+		}
+	}
+	if want := 3 * sharedKeys; files != want {
+		t.Fatalf("%d entries on disk, want %d (contended + two private sets)", files, want)
+	}
+
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < sharedKeys; i++ {
+		res, ok := c.Get(fmt.Sprintf("contended-%03d", i))
+		if !ok {
+			t.Fatalf("contended key %d missing after the race", i)
+		}
+		mark := res.Windows
+		if mark != 1 && mark != 2 {
+			t.Fatalf("contended key %d carries mark %d: not either writer's whole payload", i, mark)
+		}
+		if want := sharedResult(mark, i); !equalResults(res, want) {
+			t.Fatalf("contended key %d is a blend of writers: %+v", i, res)
+		}
+	}
+}

@@ -397,9 +397,16 @@ func RunCached(ctx context.Context, c *Cache, r *runner.Runner, pri int, rs spec
 	// waiter's closure runs under the first submitter's context, so its
 	// own trail stays un-executed and its record reads "cached" — one
 	// honest record per RunCached call, one execution per singleflight.
+	// A caller that already attached a trail (a dsweep worker deriving
+	// the outcome it reports upstream) shares it instead of being
+	// shadowed by a fresh one.
 	var trail *obs.Trail
 	if c.Ledger() != nil {
-		ctx, trail = obs.WithTrail(ctx)
+		if t := obs.TrailFrom(ctx); t != nil {
+			trail = t
+		} else {
+			ctx, trail = obs.WithTrail(ctx)
+		}
 	}
 	start := time.Now()
 	gs := sp.Child("cache.get")
